@@ -1,0 +1,220 @@
+//! Microbenchmarks of the microarchitecture components.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fo4depth_uarch::branch::{Bimodal, BranchPredictor, Gshare, Perceptron, Tournament};
+use fo4depth_uarch::cache::Cache;
+use fo4depth_uarch::rename::RenameMap;
+use fo4depth_uarch::rob::ReorderBuffer;
+use fo4depth_uarch::segmented::{SegmentedWindow, SelectMode};
+use fo4depth_uarch::speculative::SpeculativeWindow;
+use fo4depth_uarch::window::{ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel};
+use fo4depth_util::{Rng64, Xoshiro256StarStar};
+use fo4depth_workload::{profiles, TraceGenerator};
+use fo4depth_isa::ArchReg;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    let stream: Vec<(u64, bool)> = {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        (0..1024)
+            .map(|_| (0x1000 + rng.next_range(256) * 4, rng.next_bool(0.7)))
+            .collect()
+    };
+    g.bench_function("bimodal_1k_branches", |b| {
+        let mut p = Bimodal::new(4096);
+        b.iter(|| {
+            for &(pc, taken) in &stream {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.bench_function("gshare_1k_branches", |b| {
+        let mut p = Gshare::new(4096);
+        b.iter(|| {
+            for &(pc, taken) in &stream {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.bench_function("tournament_1k_branches", |b| {
+        let mut p = Tournament::alpha21264();
+        b.iter(|| {
+            for &(pc, taken) in &stream {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.bench_function("perceptron_1k_branches", |b| {
+        let mut p = Perceptron::new(512, 24);
+        b.iter(|| {
+            for &(pc, taken) in &stream {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let addrs: Vec<u64> = {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        (0..1024).map(|_| rng.next_range(1 << 22)).collect()
+    };
+    g.bench_function("l1_64k_2way_1k_accesses", |b| {
+        let mut cache = Cache::new(64 * 1024, 2, 64);
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn window_entries(n: u64) -> Vec<WindowEntry> {
+    (0..n)
+        .map(|seq| WindowEntry {
+            seq,
+            port: if seq % 3 == 0 { IssuePort::Mem } else { IssuePort::Int },
+            ready_at: seq % 5,
+        })
+        .collect()
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("issue_window");
+    g.bench_function("conventional_32_fill_drain", |b| {
+        b.iter_batched(
+            || (ConventionalWindow::new(32, 1), window_entries(32)),
+            |(mut w, entries)| {
+                for e in entries {
+                    w.insert(e);
+                }
+                let mut now = 0;
+                while !w.is_empty() {
+                    let mut budget = IssueBudget::alpha_like();
+                    black_box(w.select(now, &mut budget));
+                    now += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("speculative_32_fill_drain", |b| {
+        b.iter_batched(
+            || (SpeculativeWindow::new(32, 2), window_entries(32)),
+            |(mut w, entries)| {
+                for e in entries {
+                    w.insert(e);
+                }
+                let mut now = 0;
+                while !w.is_empty() {
+                    let mut budget = IssueBudget::alpha_like();
+                    black_box(w.select(now, &mut budget));
+                    now += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("segmented_32x4_preselect_fill_drain", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SegmentedWindow::new(32, 4, SelectMode::figure12()),
+                    window_entries(32),
+                )
+            },
+            |(mut w, entries)| {
+                for e in entries {
+                    w.insert(e);
+                }
+                let mut now = 0;
+                while !w.is_empty() {
+                    let mut budget = IssueBudget::alpha_like();
+                    black_box(w.select(now, &mut budget));
+                    now += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_rename_rob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rename_rob");
+    g.bench_function("rename_1k_writes", |b| {
+        b.iter_batched(
+            || RenameMap::new(64 + 1024),
+            |mut m| {
+                let mut freed = Vec::new();
+                for i in 0..1000u32 {
+                    let r = ArchReg::int((i % 24) as u8);
+                    let old = m.current(r);
+                    black_box(m.rename_dest(r).expect("capacity"));
+                    freed.push(old);
+                    if freed.len() > 512 {
+                        m.free(freed.remove(0));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("rob_1k_alloc_commit", |b| {
+        b.iter_batched(
+            || ReorderBuffer::new(80),
+            |mut rob| {
+                let mut seq = 0u64;
+                for cycle in 0..250u64 {
+                    for _ in 0..4 {
+                        if rob.allocate(seq, None).is_some() {
+                            rob.complete(seq, cycle + 2);
+                            seq += 1;
+                        }
+                    }
+                    black_box(rob.commit_ready(cycle, 4));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    for name in ["164.gzip", "171.swim"] {
+        g.bench_function(format!("generate_10k_{name}"), |b| {
+            let p = profiles::by_name(name).expect("profile");
+            b.iter_batched(
+                || TraceGenerator::new(p.clone(), 1),
+                |gen| {
+                    for i in gen.take(10_000) {
+                        black_box(i);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictors,
+    bench_cache,
+    bench_windows,
+    bench_rename_rob,
+    bench_trace_generation
+);
+criterion_main!(benches);

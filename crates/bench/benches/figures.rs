@@ -1,0 +1,97 @@
+//! One Criterion bench per reproduced table/figure, at reduced instruction
+//! counts: these track the wall-clock cost of regenerating each result (the
+//! full-fidelity regeneration is `cargo run -p fo4depth-bench --bin tables`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fo4depth_fo4::Fo4;
+use fo4depth_study::cray::cray_memory_sweep_with;
+use fo4depth_study::latency::{table3, StructureSet};
+use fo4depth_study::loops::critical_loops_with;
+use fo4depth_study::segmented::{select_eval, window_depth_sweep};
+use fo4depth_study::sim::SimParams;
+use fo4depth_study::sweep::{depth_sweep_with, CoreKind};
+use fo4depth_workload::profiles;
+
+fn tiny() -> SimParams {
+    SimParams {
+        warmup: 1_000,
+        measure: 4_000,
+        seed: 1,
+    }
+}
+
+fn few_points() -> Vec<Fo4> {
+    [4.0, 6.0, 9.0].into_iter().map(Fo4::new).collect()
+}
+
+fn subset() -> Vec<fo4depth_workload::BenchProfile> {
+    ["164.gzip", "171.swim", "179.art"]
+        .iter()
+        .map(|n| profiles::by_name(n).expect("known"))
+        .collect()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table3", |b| {
+        let s = StructureSet::alpha_21264();
+        b.iter(|| black_box(table3(&s)));
+    });
+
+    g.bench_function("figure4b_inorder_sweep", |b| {
+        let profs = subset();
+        b.iter(|| {
+            black_box(depth_sweep_with(
+                CoreKind::InOrder,
+                &profs,
+                &tiny(),
+                &StructureSet::alpha_21264(),
+                Fo4::new(1.8),
+                &few_points(),
+            ))
+        });
+    });
+
+    g.bench_function("figure5_ooo_sweep", |b| {
+        let profs = subset();
+        b.iter(|| {
+            black_box(depth_sweep_with(
+                CoreKind::OutOfOrder,
+                &profs,
+                &tiny(),
+                &StructureSet::alpha_21264(),
+                Fo4::new(1.8),
+                &few_points(),
+            ))
+        });
+    });
+
+    g.bench_function("figure8_critical_loops", |b| {
+        let profs = vec![profiles::by_name("164.gzip").expect("known")];
+        b.iter(|| black_box(critical_loops_with(&profs, &tiny(), &[0, 8])));
+    });
+
+    g.bench_function("figure11_window_depth", |b| {
+        let profs = subset();
+        b.iter(|| black_box(window_depth_sweep(&profs, &tiny(), &[1, 4, 10])));
+    });
+
+    g.bench_function("figure12_preselect", |b| {
+        let profs = subset();
+        b.iter(|| black_box(select_eval(&profs, &tiny())));
+    });
+
+    g.bench_function("cray1s_sweep", |b| {
+        let profs = vec![profiles::by_name("164.gzip").expect("known")];
+        b.iter(|| black_box(cray_memory_sweep_with(&profs, &tiny(), &few_points())));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

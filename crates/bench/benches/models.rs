@@ -1,0 +1,57 @@
+//! Timing-model benchmarks: the circuit simulator's measurement set-ups and
+//! the cacti organization search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fo4depth_cacti::{access_time, cam_access_time, presets, SramConfig};
+use fo4depth_circuit::{fo4meas, DeviceParams};
+use fo4depth_study::latency::{table3, StructureSet};
+
+fn bench_circuit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit");
+    g.sample_size(10);
+    g.bench_function("measure_fo4", |b| {
+        let p = DeviceParams::at_100nm();
+        b.iter(|| black_box(fo4meas::measure_fo4(&p)));
+    });
+    g.finish();
+}
+
+fn bench_cacti(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cacti");
+    g.bench_function("dl1_64k_search", |b| {
+        let cfg = presets::data_cache_64kb();
+        b.iter(|| black_box(access_time(&cfg)));
+    });
+    g.bench_function("l2_2m_search", |b| {
+        let cfg = presets::l2_cache_2mb();
+        b.iter(|| black_box(access_time(&cfg)));
+    });
+    g.bench_function("issue_window_cam", |b| {
+        let cfg = presets::issue_window(32);
+        b.iter(|| black_box(cam_access_time(&cfg)));
+    });
+    g.bench_function("capacity_sweep_16_configs", |b| {
+        b.iter(|| {
+            for kb in [8u64, 16, 32, 64, 128, 256, 512, 1024] {
+                for ways in [1u32, 2] {
+                    black_box(access_time(&SramConfig::cache(kb * 1024, ways, 64)));
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_latency_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study");
+    g.bench_function("table3_generation", |b| {
+        let s = StructureSet::alpha_21264();
+        b.iter(|| black_box(table3(&s)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_circuit, bench_cacti, bench_latency_table);
+criterion_main!(benches);

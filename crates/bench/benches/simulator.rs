@@ -1,0 +1,79 @@
+//! End-to-end simulator throughput: simulated instructions per wall-clock
+//! second for the in-order and out-of-order cores, at the Alpha point and
+//! at the paper's optimal clock.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fo4depth_fo4::Fo4;
+use fo4depth_pipeline::{CoreConfig, InOrderCore, OutOfOrderCore, WindowConfig};
+use fo4depth_study::latency::StructureSet;
+use fo4depth_study::scaler::ScaledMachine;
+use fo4depth_uarch::segmented::SelectMode;
+use fo4depth_workload::{profiles, TraceGenerator};
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_cores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(INSTRUCTIONS));
+    g.sample_size(10);
+
+    for name in ["164.gzip", "181.mcf", "171.swim"] {
+        let profile = profiles::by_name(name).expect("profile");
+
+        g.bench_function(format!("ooo_alpha_{name}"), |b| {
+            b.iter(|| {
+                let mut core = OutOfOrderCore::new(
+                    CoreConfig::alpha_like(),
+                    TraceGenerator::new(profile.clone(), 1),
+                );
+                black_box(core.run(INSTRUCTIONS));
+            });
+        });
+        g.bench_function(format!("inorder_alpha_{name}"), |b| {
+            b.iter(|| {
+                let mut core = InOrderCore::new(
+                    CoreConfig::alpha_like(),
+                    TraceGenerator::new(profile.clone(), 1),
+                );
+                black_box(core.run(INSTRUCTIONS));
+            });
+        });
+    }
+
+    // The deep-clock machine is slower to simulate (longer latencies, more
+    // in-flight bookkeeping) — track it separately.
+    let deep = ScaledMachine::at(&StructureSet::alpha_21264(), Fo4::new(6.0), Fo4::new(1.8));
+    g.bench_function("ooo_6fo4_164.gzip", |b| {
+        let profile = profiles::by_name("164.gzip").expect("profile");
+        b.iter(|| {
+            let mut core = OutOfOrderCore::new(
+                deep.config.clone(),
+                TraceGenerator::new(profile.clone(), 1),
+            );
+            black_box(core.run(INSTRUCTIONS));
+        });
+    });
+
+    // Segmented-window core (Figure 12 organization).
+    let mut seg_cfg = CoreConfig::alpha_like();
+    seg_cfg.window = WindowConfig::Segmented {
+        capacity: 32,
+        stages: 4,
+        select: SelectMode::figure12(),
+    };
+    g.bench_function("ooo_segmented_164.gzip", |b| {
+        let profile = profiles::by_name("164.gzip").expect("profile");
+        b.iter(|| {
+            let mut core =
+                OutOfOrderCore::new(seg_cfg.clone(), TraceGenerator::new(profile.clone(), 1));
+            black_box(core.run(INSTRUCTIONS));
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cores);
+criterion_main!(benches);

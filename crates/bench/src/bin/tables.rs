@@ -1,0 +1,45 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p fo4depth-bench --bin tables             # everything
+//! cargo run --release -p fo4depth-bench --bin tables -- --figure5 --table3
+//! cargo run --release -p fo4depth-bench --bin tables -- --thorough
+//! ```
+
+use fo4depth_bench::{run_experiment, ExperimentId, RunConfig};
+use fo4depth_study::sim::SimParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::default();
+    let mut requested: Vec<ExperimentId> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--thorough" => {
+                cfg.params = SimParams::thorough();
+                cfg.quick_capacity = false;
+            }
+            "--quick" => {
+                cfg.params = SimParams::quick();
+                cfg.quick_capacity = true;
+            }
+            "--all" => requested.extend(ExperimentId::all()),
+            flag => match ExperimentId::from_flag(flag) {
+                Some(id) => requested.push(id),
+                None => {
+                    eprintln!("unknown flag {flag}; known experiments:");
+                    for id in ExperimentId::all() {
+                        eprintln!("  --{}", format!("{id:?}").to_lowercase());
+                    }
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
+    if requested.is_empty() {
+        requested = ExperimentId::all();
+    }
+    for id in requested {
+        run_experiment(id, &cfg);
+    }
+}

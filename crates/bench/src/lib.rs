@@ -1,0 +1,10 @@
+//! Shared driver code for the fo4depth benchmark harness.
+//!
+//! The [`tables`] module regenerates every table and figure of the paper
+//! (the `tables` binary is a thin CLI over it); the Criterion benches under
+//! `benches/` measure the performance of the substrate components
+//! themselves.
+
+pub mod tables;
+
+pub use tables::{run_experiment, ExperimentId, RunConfig};

@@ -1,0 +1,51 @@
+//! Analytical SRAM / cache / CAM access-time model in the spirit of
+//! Cacti 3.0 (Shivakumar & Jouppi), the tool the paper uses to obtain the
+//! access latencies behind its Table 3.
+//!
+//! # Model
+//!
+//! A storage structure is decomposed the way Cacti decomposes it:
+//!
+//! ```text
+//! access = decode + wordline + bitline + sense + tag-compare/mux + output
+//! ```
+//!
+//! with the array optionally split into sub-arrays (the `Ndwl × Ndbl`
+//! organization search of Cacti); [`access_time`] searches organizations and
+//! reports the fastest. Content-addressable structures (issue window, rename
+//! CAM) use [`cam_access_time`]: tag broadcast + match + match-OR, the same
+//! decomposition Palacharla, Jouppi & Smith use for wakeup logic.
+//!
+//! All component delays are expressed directly in technology-independent
+//! [`Fo4`](fo4depth_fo4::Fo4) units (the paper's own trick), with
+//! coefficients calibrated to the anchor values the paper states in prose:
+//!
+//! * 512-entry register file ≈ 0.39 ns = 10.8 FO4 at 100 nm (§3.3),
+//! * issue window / rename table ≈ 17 FO4 (Table 3 row: 9 cycles at
+//!   `t_useful` = 2 FO4, 1 cycle on the 17.4 FO4 Alpha 21264),
+//! * 64 KB L1 data cache ≈ 35 FO4 (6 cycles at 6 FO4, §4.5),
+//! * 512 KB L2 ≈ 70 FO4 (12 cycles at 6 FO4, §4.5).
+//!
+//! The paper's Table 3 structure rows carry ±1-cell rounding noise (see
+//! DESIGN.md); EXPERIMENTS.md records the per-cell comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_cacti::presets;
+//!
+//! let dl1 = presets::data_cache_64kb();
+//! let t = fo4depth_cacti::access_time(&dl1);
+//! assert!((30.0..40.0).contains(&t.total.get()));
+//! ```
+
+pub mod area;
+pub mod cam;
+pub mod model;
+pub mod presets;
+pub mod sram;
+
+pub use area::{cam_area, sram_area, AreaEstimate};
+pub use cam::{cam_access_time, CamConfig};
+pub use model::{AccessBreakdown, Coefficients};
+pub use sram::{access_time, Organization, SramConfig};

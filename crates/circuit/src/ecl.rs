@@ -1,0 +1,129 @@
+//! The CRAY-1S ECL-gate equivalence — Appendix A (Figure 13).
+//!
+//! The CRAY-1S was built from discrete ECL 4/5-input NANDs where one wire
+//! delay roughly equalled one gate delay. The paper's CMOS equivalent of one
+//! Cray gate is therefore a 4-input NAND (the gate) driving a 5-input NAND
+//! (standing in for the wire), and SPICE puts the pair at **1.36 FO4**. With
+//! 8 gate levels per stage, a CRAY-1S pipeline stage is ≈ 16 gates ≈ 10.9
+//! FO4 of useful logic for scalar code (8 × 1.36), and 5.4 FO4 for vector
+//! code (4 gates).
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceParams;
+use crate::fo4meas::measure_fo4;
+use crate::netlist::Netlist;
+use crate::sim::{propagation_delay, Stimulus, Transient};
+
+/// Result of the ECL-equivalence measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EclMeasurement {
+    /// Delay of the NAND4 → NAND5 pair (ps), averaged over edges.
+    pub gate_pair_ps: f64,
+    /// The FO4 delay at the same parameters (ps).
+    pub fo4_ps: f64,
+}
+
+impl EclMeasurement {
+    /// One Cray ECL gate in FO4 units — the paper reports 1.36.
+    #[must_use]
+    pub fn gate_in_fo4(&self) -> f64 {
+        self.gate_pair_ps / self.fo4_ps
+    }
+
+    /// FO4 of useful logic per CRAY-1S pipeline stage for scalar code
+    /// (8 gate levels — Kunkel & Smith's scalar optimum).
+    #[must_use]
+    pub fn cray_scalar_stage_fo4(&self) -> f64 {
+        8.0 * self.gate_in_fo4()
+    }
+
+    /// FO4 of useful logic per CRAY-1S pipeline stage for vector code
+    /// (4 gate levels).
+    #[must_use]
+    pub fn cray_vector_stage_fo4(&self) -> f64 {
+        4.0 * self.gate_in_fo4()
+    }
+}
+
+fn measure_pair_edge(params: &DeviceParams, rising_input: bool) -> f64 {
+    let vdd = params.vdd;
+    let mut nl = Netlist::new(*params);
+    let src = nl.node();
+    nl.drive(src);
+    // Shape the edge through two inverters (even: polarity preserved).
+    let shaped = nl.buffer_chain(src, 2, 2.0);
+
+    // NAND4 with one switching input, three tied high.
+    let vdd_node = nl.vdd();
+    let n4_out = nl.nand(&[shaped, vdd_node, vdd_node, vdd_node], 1.0);
+    // NAND5 with the NAND4 output as the one switching input.
+    let n5_out = nl.nand(&[n4_out, vdd_node, vdd_node, vdd_node, vdd_node], 1.0);
+    // Light downstream load so the NAND5 edge is realistic.
+    nl.fanout_load(n5_out, 1, 1.0);
+
+    let (from, to) = if rising_input { (0.0, vdd) } else { (vdd, 0.0) };
+    let mut tr = Transient::new(&nl);
+    tr.set_stimulus(
+        src,
+        Stimulus::Step {
+            t0: 250.0,
+            from,
+            to,
+            rise: 20.0,
+        },
+    );
+    let waves = tr.run(800.0);
+    propagation_delay(
+        &waves.node(shaped),
+        &waves.node(n5_out),
+        vdd,
+        rising_input,
+        200.0,
+    )
+    .expect("NAND pair must propagate the edge")
+}
+
+/// Measures the NAND4→NAND5 pair delay and its FO4 equivalent.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fo4depth_circuit::{ecl, DeviceParams};
+/// let m = ecl::measure_ecl_gate(&DeviceParams::at_100nm());
+/// println!("1 Cray gate = {:.2} FO4", m.gate_in_fo4());
+/// ```
+#[must_use]
+pub fn measure_ecl_gate(params: &DeviceParams) -> EclMeasurement {
+    let rise = measure_pair_edge(params, true);
+    let fall = measure_pair_edge(params, false);
+    EclMeasurement {
+        gate_pair_ps: 0.5 * (rise + fall),
+        fo4_ps: measure_fo4(params).picoseconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecl_gate_near_paper_value() {
+        // Paper Appendix A: 1.36 FO4. Accept ±35 % — what matters downstream
+        // is that the Kunkel-Smith 8-gate stage maps to ~10-11 FO4, i.e. the
+        // CRAY scalar optimum is roughly double the modern 6 FO4 optimum.
+        let m = measure_ecl_gate(&DeviceParams::at_100nm());
+        let g = m.gate_in_fo4();
+        assert!((0.9..1.9).contains(&g), "ECL gate = {g} FO4");
+    }
+
+    #[test]
+    fn cray_stage_conversions_consistent() {
+        let m = EclMeasurement {
+            gate_pair_ps: 1.36 * 36.0,
+            fo4_ps: 36.0,
+        };
+        assert!((m.cray_scalar_stage_fo4() - 10.88).abs() < 1e-9);
+        assert!((m.cray_vector_stage_fo4() - 5.44).abs() < 1e-9);
+    }
+}

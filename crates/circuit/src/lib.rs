@@ -1,0 +1,56 @@
+//! A small transient circuit simulator standing in for the SPICE runs of
+//! Hrishikesh et al. (ISCA 2002).
+//!
+//! The paper consumes exactly three numbers from transistor-level
+//! simulation, and this crate reproduces the methodology behind each:
+//!
+//! 1. **The FO4 delay itself** — an inverter driving four copies of itself,
+//!    with the input edge shaped by a buffer chain ([`fo4meas`]).
+//! 2. **Latch overhead ≈ 1 FO4** (Table 1) — a pulse latch (transmission
+//!    gate + inverter + clocked feedback, the paper's Figure 2) driven
+//!    through six-inverter clock/data buffers (Figure 3); the data edge is
+//!    swept toward the falling clock edge and the overhead is the smallest
+//!    D→Q delay before the latch fails to capture ([`latch`]).
+//! 3. **One Cray ECL gate ≈ 1.36 FO4** (Appendix A) — a 4-input NAND
+//!    driving a 5-input NAND (Figure 13), the first standing for gate delay
+//!    and the second for the transmission-line wire delay of the CRAY-1S
+//!    ([`ecl`]).
+//!
+//! # Fidelity
+//!
+//! Devices use a first-order MOSFET model (square law blended with velocity
+//! saturation) with effective parameters calibrated so that the simulated
+//! FO4 at 100 nm lands near the paper's 36 ps rule of thumb. Because every
+//! quantity the study consumes is a *ratio* to the measured FO4, residual
+//! absolute calibration error cancels — the same property the paper relies
+//! on when calling FO4 "technology independent". Integration is explicit
+//! (forward Euler with a conservative step); the circuits here are a few
+//! tens of nodes, so robustness beats sophistication.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_circuit::{fo4meas, DeviceParams};
+//!
+//! let params = DeviceParams::at_100nm();
+//! let fo4 = fo4meas::measure_fo4(&params);
+//! assert!((30.0..42.0).contains(&fo4.picoseconds()));
+//! ```
+
+pub mod device;
+pub mod ecl;
+pub mod flipflop;
+pub mod fo4meas;
+pub mod latch;
+pub mod netlist;
+pub mod ringosc;
+pub mod sim;
+
+pub use device::{DeviceParams, Mosfet, MosfetKind};
+pub use ecl::EclMeasurement;
+pub use flipflop::FlipFlopMeasurement;
+pub use fo4meas::Fo4Measurement;
+pub use latch::{LatchMeasurement, LatchSweepPoint};
+pub use ringosc::RingMeasurement;
+pub use netlist::{Netlist, Node};
+pub use sim::{Transient, Waveform};

@@ -1,0 +1,226 @@
+//! Simulation driving and aggregation: run benchmark sets through a core
+//! configuration and summarize per paper conventions (harmonic-mean BIPS
+//! per benchmark class).
+
+use fo4depth_pipeline::{CoreConfig, InOrderCore, OutOfOrderCore, SimResult};
+use fo4depth_util::harmonic_mean;
+use fo4depth_workload::{BenchClass, BenchProfile, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Instruction counts and seeding for one simulation.
+///
+/// The paper skips 500 M instructions and measures 500 M; synthetic traces
+/// have no start-up phase of that scale, so the defaults here warm the
+/// predictor/caches and measure a window large enough for stable means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Instructions run before measurement starts.
+    pub warmup: u64,
+    /// Instructions measured.
+    pub measure: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self {
+            warmup: 20_000,
+            measure: 80_000,
+            seed: 1,
+        }
+    }
+}
+
+impl SimParams {
+    /// Short runs for unit/integration tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            warmup: 8_000,
+            measure: 30_000,
+            seed: 1,
+        }
+    }
+
+    /// Long runs for the benchmark harness.
+    #[must_use]
+    pub fn thorough() -> Self {
+        Self {
+            warmup: 50_000,
+            measure: 400_000,
+            seed: 1,
+        }
+    }
+}
+
+/// One benchmark's outcome at one machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Benchmark class.
+    pub class: BenchClass,
+    /// Raw counters of the measured interval.
+    pub result: SimResult,
+}
+
+/// Runs one profile on the out-of-order core.
+#[must_use]
+pub fn run_ooo(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
+    let trace = TraceGenerator::new(profile.clone(), params.seed);
+    let prewarm = trace.prewarm_addresses();
+    let mut core = OutOfOrderCore::new(cfg.clone(), trace);
+    core.prewarm(prewarm);
+    core.run(params.warmup);
+    let result = core.run(params.measure);
+    BenchOutcome {
+        name: profile.name.clone(),
+        class: profile.class,
+        result,
+    }
+}
+
+/// Runs one profile on the in-order core.
+#[must_use]
+pub fn run_inorder(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
+    let trace = TraceGenerator::new(profile.clone(), params.seed);
+    let prewarm = trace.prewarm_addresses();
+    let mut core = InOrderCore::new(cfg.clone(), trace);
+    core.prewarm(prewarm);
+    core.run(params.warmup);
+    let result = core.run(params.measure);
+    BenchOutcome {
+        name: profile.name.clone(),
+        class: profile.class,
+        result,
+    }
+}
+
+/// Runs a set of profiles in parallel across OS threads (simulations are
+/// independent and CPU-bound).
+#[must_use]
+pub fn run_set<F>(profiles: &[BenchProfile], run_one: F) -> Vec<BenchOutcome>
+where
+    F: Fn(&BenchProfile) -> BenchOutcome + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(profiles.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<BenchOutcome>> = (0..profiles.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<BenchOutcome>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= profiles.len() {
+                    break;
+                }
+                let outcome = run_one(&profiles[i]);
+                **slot_refs[i].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Per-class aggregate of a benchmark set at one clock point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Harmonic-mean BIPS over the class (the paper's aggregate).
+    pub bips: f64,
+    /// Harmonic-mean IPC over the class.
+    pub ipc: f64,
+    /// Number of benchmarks aggregated.
+    pub count: usize,
+}
+
+/// Aggregates outcomes for one class (or all, with `class = None`) at the
+/// given clock period.
+///
+/// Returns `None` when no benchmark matches.
+#[must_use]
+pub fn summarize(
+    outcomes: &[BenchOutcome],
+    class: Option<BenchClass>,
+    period_ps: f64,
+) -> Option<ClassSummary> {
+    let selected: Vec<&BenchOutcome> = outcomes
+        .iter()
+        .filter(|o| class.is_none_or(|c| o.class == c))
+        .collect();
+    if selected.is_empty() {
+        return None;
+    }
+    let bips = harmonic_mean(selected.iter().map(|o| o.result.bips(period_ps)))?;
+    let ipc = harmonic_mean(selected.iter().map(|o| o.result.ipc()))?;
+    Some(ClassSummary {
+        bips,
+        ipc,
+        count: selected.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fo4depth_pipeline::CoreConfig;
+    use fo4depth_workload::profiles;
+
+    #[test]
+    fn parallel_run_set_matches_serial() {
+        let cfg = CoreConfig::alpha_like();
+        let params = SimParams {
+            warmup: 2_000,
+            measure: 8_000,
+            seed: 3,
+        };
+        let profs: Vec<_> = profiles::all().into_iter().take(4).collect();
+        let parallel = run_set(&profs, |p| run_ooo(&cfg, p, &params));
+        for (i, p) in profs.iter().enumerate() {
+            let serial = run_ooo(&cfg, p, &params);
+            assert_eq!(parallel[i], serial, "{} differs", p.name);
+        }
+    }
+
+    #[test]
+    fn summarize_filters_by_class() {
+        let cfg = CoreConfig::alpha_like();
+        let params = SimParams {
+            warmup: 2_000,
+            measure: 6_000,
+            seed: 1,
+        };
+        let profs = vec![
+            profiles::by_name("164.gzip").unwrap(),
+            profiles::by_name("171.swim").unwrap(),
+        ];
+        let outcomes = run_set(&profs, |p| run_ooo(&cfg, p, &params));
+        let int = summarize(&outcomes, Some(BenchClass::Integer), 1000.0).unwrap();
+        assert_eq!(int.count, 1);
+        let all = summarize(&outcomes, None, 1000.0).unwrap();
+        assert_eq!(all.count, 2);
+        assert!(summarize(&outcomes, Some(BenchClass::NonVectorFp), 1000.0).is_none());
+    }
+
+    #[test]
+    fn bips_scales_inversely_with_period() {
+        let cfg = CoreConfig::alpha_like();
+        let params = SimParams::quick();
+        let o = vec![run_ooo(
+            &cfg,
+            &profiles::by_name("164.gzip").unwrap(),
+            &params,
+        )];
+        let fast = summarize(&o, None, 500.0).unwrap();
+        let slow = summarize(&o, None, 1000.0).unwrap();
+        assert!((fast.bips / slow.bips - 2.0).abs() < 1e-9);
+        assert_eq!(fast.ipc, slow.ipc);
+    }
+}

@@ -1,0 +1,202 @@
+//! The pipeline-depth sweep — Figures 4a, 4b, and 5.
+//!
+//! For each candidate `t_useful` from 2 to 16 FO4, scale every structure
+//! into cycles, run the benchmark set, and plot harmonic-mean BIPS per
+//! class. The maximum of each curve is the class's optimal logic depth per
+//! stage.
+
+use fo4depth_fo4::Fo4;
+use fo4depth_workload::{BenchClass, BenchProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::latency::StructureSet;
+use crate::scaler::ScaledMachine;
+use crate::sim::{run_inorder, run_ooo, run_set, summarize, BenchOutcome, SimParams};
+
+/// Which core model a sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// The §4.1 in-order-issue pipeline.
+    InOrder,
+    /// The §4.3 dynamically scheduled pipeline.
+    OutOfOrder,
+}
+
+/// One clock point of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Useful logic per stage at this point.
+    pub t_useful: f64,
+    /// Clock period in ps (at 100 nm).
+    pub period_ps: f64,
+    /// Per-benchmark outcomes.
+    pub outcomes: Vec<BenchOutcome>,
+}
+
+/// A complete depth sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthSweep {
+    /// Core model used.
+    pub core: CoreKind,
+    /// Overhead used (FO4).
+    pub overhead: f64,
+    /// Points, in increasing `t_useful`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl DepthSweep {
+    /// Harmonic-mean BIPS series for one class (or all classes with
+    /// `None`), as `(t_useful, bips)` pairs.
+    #[must_use]
+    pub fn series(&self, class: Option<BenchClass>) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                summarize(&p.outcomes, class, p.period_ps).map(|s| (p.t_useful, s.bips))
+            })
+            .collect()
+    }
+
+    /// The `t_useful` with maximum harmonic-mean BIPS for a class, and that
+    /// BIPS value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no points for the class.
+    #[must_use]
+    pub fn class_optimum(&self, class: BenchClass) -> (f64, f64) {
+        self.optimum(Some(class))
+    }
+
+    /// The optimum over a class selection (`None` = all benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no points for the selection.
+    #[must_use]
+    pub fn optimum(&self, class: Option<BenchClass>) -> (f64, f64) {
+        self.series(class)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite BIPS"))
+            .expect("sweep has points")
+    }
+}
+
+/// The candidate clock points of the study: `t_useful` = 2..=16 FO4.
+#[must_use]
+pub fn standard_points() -> Vec<Fo4> {
+    (2..=16).map(|t| Fo4::new(f64::from(t))).collect()
+}
+
+/// Runs the full depth sweep with the paper's 1.8 FO4 overhead.
+#[must_use]
+pub fn depth_sweep(core: CoreKind, profiles: &[BenchProfile], params: &SimParams) -> DepthSweep {
+    depth_sweep_with(
+        core,
+        profiles,
+        params,
+        &StructureSet::alpha_21264(),
+        Fo4::new(1.8),
+        &standard_points(),
+    )
+}
+
+/// Runs a depth sweep with explicit structures, overhead, and points —
+/// the general entry used by Figures 4a (zero overhead), 6, and 7.
+#[must_use]
+pub fn depth_sweep_with(
+    core: CoreKind,
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    structures: &StructureSet,
+    overhead: Fo4,
+    points: &[Fo4],
+) -> DepthSweep {
+    let points = points
+        .iter()
+        .map(|&t| {
+            let machine = ScaledMachine::at(structures, t, overhead);
+            let outcomes = run_set(profiles, |p| match core {
+                CoreKind::InOrder => run_inorder(&machine.config, p, params),
+                CoreKind::OutOfOrder => run_ooo(&machine.config, p, params),
+            });
+            SweepPoint {
+                t_useful: t.get(),
+                period_ps: machine.period_ps(),
+                outcomes,
+            }
+        })
+        .collect();
+    DepthSweep {
+        core,
+        overhead: overhead.get(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fo4depth_workload::profiles;
+
+    fn tiny_params() -> SimParams {
+        SimParams {
+            warmup: 3_000,
+            measure: 10_000,
+            seed: 1,
+        }
+    }
+
+    fn some_points() -> Vec<Fo4> {
+        [2.0, 6.0, 12.0].into_iter().map(Fo4::new).collect()
+    }
+
+    #[test]
+    fn sweep_produces_series_for_each_class() {
+        let profs = vec![
+            profiles::by_name("164.gzip").unwrap(),
+            profiles::by_name("171.swim").unwrap(),
+            profiles::by_name("179.art").unwrap(),
+        ];
+        let sweep = depth_sweep_with(
+            CoreKind::OutOfOrder,
+            &profs,
+            &tiny_params(),
+            &StructureSet::alpha_21264(),
+            Fo4::new(1.8),
+            &some_points(),
+        );
+        assert_eq!(sweep.points.len(), 3);
+        for class in [
+            BenchClass::Integer,
+            BenchClass::VectorFp,
+            BenchClass::NonVectorFp,
+        ] {
+            let s = sweep.series(Some(class));
+            assert_eq!(s.len(), 3);
+            assert!(s.iter().all(|&(_, b)| b > 0.0));
+        }
+        let (best_t, best_bips) = sweep.optimum(None);
+        assert!(best_bips > 0.0);
+        assert!([2.0, 6.0, 12.0].contains(&best_t));
+    }
+
+    #[test]
+    fn middle_clock_beats_extremes_for_integer_code() {
+        // The headline shape on a single integer benchmark: 6 FO4 beats
+        // both the 2 FO4 and the 16 FO4 extremes once overhead is charged.
+        let profs = vec![profiles::by_name("164.gzip").unwrap()];
+        let sweep = depth_sweep_with(
+            CoreKind::OutOfOrder,
+            &profs,
+            &tiny_params(),
+            &StructureSet::alpha_21264(),
+            Fo4::new(1.8),
+            &[Fo4::new(2.0), Fo4::new(6.0), Fo4::new(16.0)],
+        );
+        let s = sweep.series(Some(BenchClass::Integer));
+        let at = |t: f64| s.iter().find(|p| p.0 == t).expect("point").1;
+        assert!(at(6.0) > at(2.0), "6 FO4 {} vs 2 FO4 {}", at(6.0), at(2.0));
+        assert!(at(6.0) > at(16.0), "6 FO4 {} vs 16 FO4 {}", at(6.0), at(16.0));
+    }
+}

@@ -1,0 +1,46 @@
+//! The FO4 delay metric, CMOS technology scaling, and the clock-period model
+//! of Hrishikesh et al., *The Optimal Logic Depth Per Pipeline Stage is 6 to
+//! 8 FO4 Inverter Delays* (ISCA 2002).
+//!
+//! One **FO4** is the delay of an inverter driving four copies of itself.
+//! Delays expressed in FO4 are (to first order) independent of fabrication
+//! technology, which is what lets the paper's conclusions translate across
+//! process generations. The paper's rule of thumb (from Ho, Mai & Horowitz,
+//! *The Future of Wires*): one FO4 is roughly **360 ps × drawn gate length in
+//! microns**, so 36 ps at the 100 nm node the study uses.
+//!
+//! The clock period of a pipelined machine decomposes as
+//!
+//! ```text
+//! T_clk = t_useful + t_latch + t_skew + t_jitter = t_useful + t_overhead
+//! ```
+//!
+//! with the paper's measured overheads (Table 1): latch 1.0 FO4, skew
+//! 0.3 FO4, jitter 0.5 FO4 → **1.8 FO4 total**. This crate provides those
+//! quantities as types — [`Fo4`], [`Picoseconds`], [`TechNode`],
+//! [`Overheads`], [`ClockPeriod`] — plus the historical Intel dataset behind
+//! the paper's Figure 1 ([`history`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_fo4::{ClockPeriod, Fo4, Overheads, TechNode};
+//!
+//! // The paper's optimal integer point: 6 FO4 useful + 1.8 FO4 overhead.
+//! let clk = ClockPeriod::new(Fo4::new(6.0), Overheads::isca2002().total());
+//! let node = TechNode::NM_100;
+//! let ghz = clk.frequency_ghz(node);
+//! assert!((ghz - 3.56).abs() < 0.01); // "3.6 GHz at 100nm technology"
+//! ```
+
+pub mod clock;
+pub mod history;
+pub mod metric;
+pub mod tech;
+pub mod wires;
+
+pub use clock::{cycles_for, cycles_for_rounded, ClockPeriod, Overheads, Rounding};
+pub use history::{intel_history, ProcessorDatum};
+pub use metric::{Fo4, Picoseconds};
+pub use tech::TechNode;
+pub use wires::WireModel;

@@ -1,0 +1,33 @@
+//! SIR — a synthetic RISC instruction set for trace-driven
+//! microarchitecture simulation.
+//!
+//! The paper runs SPEC CPU2000 Alpha binaries on a validated 21264
+//! simulator. SPEC is license-gated and an Alpha functional front end is out
+//! of scope for this reproduction, so the workspace instead drives its
+//! timing models with *synthetic instruction traces* over this small
+//! Alpha-flavoured ISA. An [`Instruction`] carries everything a timing
+//! model needs and nothing it doesn't:
+//!
+//! * an [`Opcode`] (mapping onto an execution [`OpClass`]),
+//! * architectural register operands ([`ArchReg`], 32 integer + 32 FP),
+//! * the effective address for loads/stores,
+//! * oracle branch information ([`BranchInfo`]) so predictors can be
+//!   trained and mispredictions detected without functional execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_isa::{ArchReg, Instruction, OpClass, Opcode};
+//!
+//! let add = Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+//! assert_eq!(add.op_class(), OpClass::IntAlu);
+//! assert!(add.dest.is_some());
+//! ```
+
+pub mod inst;
+pub mod opcode;
+pub mod reg;
+
+pub use inst::{BranchInfo, Instruction};
+pub use opcode::{OpClass, Opcode};
+pub use reg::{ArchReg, RegBank, NUM_ARCH_REGS_PER_BANK};

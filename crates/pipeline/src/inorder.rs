@@ -1,0 +1,388 @@
+//! The in-order-issue core — the §4.1 machine.
+//!
+//! Seven stages (fetch, decode, issue, register read, execute, write back,
+//! commit), issuing up to four instructions per cycle *in program order*:
+//! the head of the issue queue blocks everything younger until its sources
+//! are ready and a unit is free. Results bypass fully, branches resolve in
+//! execute, and a misprediction halts fetch until resolution — the same
+//! loop structure as the out-of-order core, minus dynamic scheduling.
+//!
+//! Two deliberate simplifications relative to the OoO model (both noted in
+//! DESIGN.md): no store-to-load forwarding (loads always see the cache) and
+//! no rename/ROB resource limits (the paper's 512-entry register files make
+//! register pressure a non-factor, and in-order issue bounds in-flight
+//! state by the queue depth anyway).
+
+use std::collections::{HashMap, VecDeque};
+
+use fo4depth_isa::{Instruction, OpClass};
+use fo4depth_uarch::branch::{BranchPredictor, Btb};
+use fo4depth_uarch::cache::Hierarchy;
+use fo4depth_uarch::fu::{FuClass, FuPool};
+
+use crate::config::CoreConfig;
+use crate::ooo::build_predictor;
+use crate::result::SimResult;
+
+/// Cycles without an issue after which the core declares itself wedged.
+const DEADLOCK_LIMIT: u64 = 200_000;
+
+#[derive(Debug)]
+struct Queued {
+    inst: Instruction,
+    seq: u64,
+    avail_at: u64,
+    /// Sequence numbers of the producing instructions of each source.
+    producers: [Option<u64>; 2],
+    mispredicted: bool,
+}
+
+/// The in-order core.
+#[derive(Debug)]
+pub struct InOrderCore<I: Iterator<Item = Instruction>> {
+    cfg: CoreConfig,
+    trace: I,
+    now: u64,
+    next_seq: u64,
+    issued_count: u64,
+
+    queue: VecDeque<Queued>,
+    queue_capacity: usize,
+    /// Last writer (sequence number) of each architectural register, as
+    /// seen by fetch (program order).
+    last_writer: [Option<u64>; 64],
+    /// Value-ready cycle of issued producers still in flight.
+    value_ready: HashMap<u64, u64>,
+
+    fu: FuPool,
+    hierarchy: Hierarchy,
+    predictor: Box<dyn BranchPredictor + Send>,
+    btb: Btb,
+
+    fetch_halted: bool,
+    fetch_resume_at: u64,
+    last_issue_cycle: u64,
+
+    branches: u64,
+    mispredicts: u64,
+    loads: u64,
+}
+
+impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
+    /// Builds a core from a validated configuration and a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: CoreConfig, trace: I) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid core config: {e}");
+        }
+        let predictor = build_predictor(&cfg);
+        Self {
+            fu: FuPool::new(cfg.fu),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            predictor,
+            btb: Btb::new(cfg.btb_entries),
+            queue_capacity: 32,
+            cfg,
+            trace,
+            now: 0,
+            next_seq: 0,
+            issued_count: 0,
+            queue: VecDeque::new(),
+            last_writer: [None; 64],
+            value_ready: HashMap::new(),
+            fetch_halted: false,
+            fetch_resume_at: 0,
+            last_issue_cycle: 0,
+            branches: 0,
+            mispredicts: 0,
+            loads: 0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Touches `addrs` through the data hierarchy before timing starts
+    /// (workload pre-warming; the counters these touches generate land in
+    /// the warm-up interval and are excluded by interval subtraction).
+    pub fn prewarm<I2: IntoIterator<Item = u64>>(&mut self, addrs: I2) {
+        for a in addrs {
+            let _ = self.hierarchy.access(a);
+        }
+    }
+
+    /// Cumulative counters since construction.
+    #[must_use]
+    pub fn snapshot(&self) -> SimResult {
+        SimResult {
+            instructions: self.issued_count,
+            cycles: self.now,
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            l1: self.hierarchy.l1_stats(),
+            l2: self.hierarchy.l2_stats(),
+            forwards: 0,
+            loads: self.loads,
+        }
+    }
+
+    /// Runs until `instructions` more have issued (≡ committed, as issue is
+    /// in program order); returns the counters for that interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core stops issuing for `DEADLOCK_LIMIT` cycles or
+    /// the trace ends.
+    pub fn run(&mut self, instructions: u64) -> SimResult {
+        let start = self.snapshot();
+        let target = self.issued_count + instructions;
+        while self.issued_count < target {
+            self.cycle();
+        }
+        self.snapshot().since(&start)
+    }
+
+    fn cycle(&mut self) {
+        self.issue();
+        self.fetch();
+        self.now += 1;
+        if self.now.is_multiple_of(4096) {
+            // Entries whose value has long materialized behave identically
+            // to absent ones (ready at 0): prune to bound the map.
+            let now = self.now;
+            self.value_ready.retain(|_, &mut t| t > now);
+        }
+        assert!(
+            self.now - self.last_issue_cycle < DEADLOCK_LIMIT,
+            "in-order core wedged at cycle {} (queue={})",
+            self.now,
+            self.queue.len()
+        );
+    }
+
+    fn issue(&mut self) {
+        let mut budget = self.fu.budget();
+        // The paper's in-order machine is 4-wide at the issue stage.
+        let width = self.cfg.dispatch_width.min(budget.total);
+        for _ in 0..width {
+            let Some(head) = self.queue.front() else {
+                return;
+            };
+            if head.avail_at > self.now {
+                return;
+            }
+            // Source readiness: all producers issued (they are older, so in
+            // order they must have) with values materialized.
+            let ready = head
+                .producers
+                .iter()
+                .flatten()
+                .all(|p| self.value_ready.get(p).copied().unwrap_or(0) <= self.now);
+            if !ready {
+                return; // head-of-line blocking: nothing younger may pass
+            }
+            let port = FuClass::for_op(head.inst.op_class()).port();
+            if !budget.take(port) {
+                return; // structural stall
+            }
+            let q = self.queue.pop_front().expect("checked front");
+            self.execute(q);
+        }
+    }
+
+    fn execute(&mut self, q: Queued) {
+        let op = q.inst.op_class();
+        let exec = self.cfg.exec.of(op).max(1);
+        let mem = match op {
+            OpClass::Load => {
+                self.loads += 1;
+                self.hierarchy.access(q.inst.mem_addr.expect("load address"))
+            }
+            OpClass::Store => {
+                // Train the hierarchy; the store buffer hides the latency.
+                let _ = self.hierarchy.access(q.inst.mem_addr.expect("store address"));
+                0
+            }
+            _ => 0,
+        };
+        // Loads: the cache path is the whole load-use latency (§4.6).
+        let value_ready = if op == OpClass::Load {
+            self.now + mem
+        } else {
+            self.now + exec + mem
+        };
+        if q.inst.dest.is_some() {
+            self.value_ready.insert(q.seq, value_ready);
+        }
+        if q.mispredicted {
+            let resolve = self.now + self.cfg.depths.regread + exec;
+            self.fetch_resume_at = resolve + 1 + self.cfg.redirect_penalty;
+            self.fetch_halted = false;
+        }
+        self.issued_count += 1;
+        self.last_issue_cycle = self.now;
+    }
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.now < self.fetch_resume_at {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.queue.len() >= self.queue_capacity {
+                return;
+            }
+            let Some(inst) = self.trace.next() else {
+                panic!("trace ended; synthetic traces are infinite");
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Producers resolved in fetch (program) order.
+            let mut producers = [None, None];
+            for (slot, src) in inst.sources().into_iter().enumerate() {
+                if let Some(r) = src {
+                    producers[slot] = self.last_writer[r.flat_index()];
+                }
+            }
+            if let Some(d) = inst.dest {
+                self.last_writer[d.flat_index()] = Some(seq);
+            }
+
+            let mut mispredicted = false;
+            let mut end_group = false;
+            if let Some(branch) = inst.branch {
+                self.branches += 1;
+                let misp = match inst.op_class() {
+                    OpClass::Branch => {
+                        let pred = self.predictor.predict(inst.pc);
+                        self.predictor.update(inst.pc, branch.taken);
+                        let target_ok = if branch.taken {
+                            let hit = self.btb.lookup(inst.pc) == Some(branch.target);
+                            self.btb.update(inst.pc, branch.target);
+                            hit
+                        } else {
+                            true
+                        };
+                        pred != branch.taken || !target_ok
+                    }
+                    _ => {
+                        let hit = self.btb.lookup(inst.pc) == Some(branch.target);
+                        self.btb.update(inst.pc, branch.target);
+                        !hit
+                    }
+                };
+                if misp {
+                    self.mispredicts += 1;
+                    mispredicted = true;
+                    self.fetch_halted = true;
+                    end_group = true;
+                } else if branch.taken {
+                    end_group = true;
+                    self.fetch_resume_at = self
+                        .fetch_resume_at
+                        .max(self.now + 1 + self.cfg.taken_bubble);
+                }
+            }
+
+            self.queue.push_back(Queued {
+                avail_at: self.now + self.cfg.depths.front_end(),
+                inst,
+                seq,
+                producers,
+                mispredicted,
+            });
+            if end_group {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fo4depth_isa::{ArchReg, Opcode};
+    use fo4depth_workload::{profiles, TraceGenerator};
+
+    fn run_bench(name: &str, n: u64) -> SimResult {
+        let p = profiles::by_name(name).unwrap();
+        let mut core = InOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p, 1));
+        core.run(5_000);
+        core.run(n)
+    }
+
+    #[test]
+    fn inorder_ipc_below_out_of_order() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let mut ino = InOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p.clone(), 1));
+        ino.run(5_000);
+        let in_ipc = ino.run(20_000).ipc();
+        let mut ooo = crate::ooo::OutOfOrderCore::new(
+            CoreConfig::alpha_like(),
+            TraceGenerator::new(p, 1),
+        );
+        ooo.run(5_000);
+        let oo_ipc = ooo.run(20_000).ipc();
+        assert!(
+            in_ipc < oo_ipc,
+            "in-order {in_ipc} should be below OoO {oo_ipc}"
+        );
+    }
+
+    #[test]
+    fn vector_code_still_beats_integer_in_order() {
+        let int = run_bench("197.parser", 20_000).ipc();
+        let vec = run_bench("171.swim", 20_000).ipc();
+        assert!(vec > int, "swim {vec} vs parser {int}");
+    }
+
+    #[test]
+    fn dependent_chain_paced_by_latency() {
+        // Each instruction depends on the previous through r1: IPC ≈ 1.
+        let chain = (0..).map(|i| {
+            Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
+                .at_pc(0x1000 + i * 4)
+        });
+        let mut core = InOrderCore::new(CoreConfig::alpha_like(), chain);
+        core.run(500);
+        let ipc = core.run(3_000).ipc();
+        assert!((0.8..=1.05).contains(&ipc), "chain IPC {ipc}");
+    }
+
+    #[test]
+    fn head_of_line_blocking_limits_independent_work() {
+        // One long-latency multiply at the head blocks independent adds in
+        // an in-order machine; interleaved mult/add streams stay well below
+        // the 4-wide limit.
+        let stream = (0..).map(|i: u64| {
+            if i.is_multiple_of(4) {
+                Instruction::alu(Opcode::Mulq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
+            } else {
+                Instruction::alu(
+                    Opcode::Addq,
+                    ArchReg::int(8),
+                    ArchReg::int(9),
+                    ArchReg::int((10 + i % 8) as u8),
+                )
+            }
+            .at_pc(0x1000 + i * 4)
+        });
+        let mut core = InOrderCore::new(CoreConfig::alpha_like(), stream);
+        core.run(500);
+        let ipc = core.run(3_000).ipc();
+        assert!(ipc < 2.5, "head-of-line blocking should cap IPC, got {ipc}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_bench("300.twolf", 10_000);
+        let b = run_bench("300.twolf", 10_000);
+        assert_eq!(a, b);
+    }
+}

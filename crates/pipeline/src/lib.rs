@@ -1,0 +1,45 @@
+//! Cycle-level superscalar core models with scalable pipeline depth.
+//!
+//! Two cores, matching the paper's §4:
+//!
+//! * [`InOrderCore`] — the seven-stage in-order-issue machine of §4.1
+//!   (fetch, decode, issue, register read, execute, write back, commit;
+//!   4-wide issue, four integer + two FP units, full bypass).
+//! * [`OutOfOrderCore`] — the dynamically scheduled Alpha-21264-like
+//!   machine of §4.3: rename + ROB + issue window (conventional or the §5
+//!   segmented design) + load/store queue + tournament predictor.
+//!
+//! Both are **trace-driven**: they consume
+//! [`Instruction`](fo4depth_isa::Instruction) streams with oracle branch
+//! outcomes and addresses, model all the *timing* interactions (critical
+//! loops, structural hazards, memory hierarchy), and never simulate
+//! wrong-path execution — a mispredicted branch stalls fetch until the
+//! branch resolves, charging exactly the front-end refill the paper's
+//! critical-loop analysis (§4.6) is about.
+//!
+//! Every structure latency in a [`CoreConfig`] is in *cycles*: the
+//! clock-frequency scaling from FO4 latencies to cycles (Table 3) lives in
+//! the `fo4depth-study` crate, which builds configs per clock point.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_pipeline::{CoreConfig, OutOfOrderCore};
+//! use fo4depth_workload::{profiles, TraceGenerator};
+//!
+//! let cfg = CoreConfig::alpha_like();
+//! let trace = TraceGenerator::new(profiles::by_name("164.gzip").unwrap().clone(), 1);
+//! let mut core = OutOfOrderCore::new(cfg, trace);
+//! let result = core.run(10_000);
+//! assert!(result.ipc() > 0.1);
+//! ```
+
+pub mod config;
+pub mod inorder;
+pub mod ooo;
+pub mod result;
+
+pub use config::{CoreConfig, PipelineDepths, PredictorConfig, WindowConfig};
+pub use inorder::InOrderCore;
+pub use ooo::OutOfOrderCore;
+pub use result::SimResult;

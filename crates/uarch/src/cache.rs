@@ -1,0 +1,313 @@
+//! Set-associative caches and the two-level hierarchy.
+//!
+//! The hierarchy mirrors the paper's memory system: an L1 data cache, a
+//! unified L2, and a flat memory behind it. Latencies are supplied in
+//! cycles by the clock-scaling layer. For the CRAY-1S comparison (§4.2) the
+//! hierarchy can run with caches disabled so that every reference pays the
+//! flat memory latency.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero for an untouched cache.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Only tags are modelled (this is a timing study); writes allocate.
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_uarch::cache::Cache;
+/// let mut c = Cache::new(64 * 1024, 2, 64);
+/// assert!(!c.access(0x1000)); // cold miss
+/// assert!(c.access(0x1000)); // hit
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // per-set LRU stack of line addresses, MRU first
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity` bytes, `ways` ways, `line` byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line or set count).
+    #[must_use]
+    pub fn new(capacity: u64, ways: usize, line: u64) -> Self {
+        assert!(capacity > 0 && ways > 0 && line > 0);
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        let num_sets = capacity / (ways as u64 * line);
+        assert!(num_sets > 0, "capacity too small for geometry");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            ways,
+            line_shift: line.trailing_zeros(),
+            set_mask: num_sets - 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses `addr`; returns whether it hit, updating LRU state and
+    /// allocating on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            self.stats.hits += 1;
+            true
+        } else {
+            set.insert(0, line);
+            if set.len() > self.ways {
+                set.pop();
+            }
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Latency plumbing for the hierarchy, in cycles (already clock-scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 data cache capacity in bytes (0 disables caches entirely —
+    /// the CRAY-1S mode of §4.2).
+    pub l1_capacity: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 capacity in bytes (0 disables the L2).
+    pub l2_capacity: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Line size for both levels.
+    pub line: u64,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Flat memory latency in cycles.
+    pub memory_latency: u64,
+    /// Maximum outstanding L1 misses (miss status holding registers);
+    /// 0 = unbounded. The 21264 supported eight in-flight off-chip misses.
+    pub mshr_limit: usize,
+}
+
+impl HierarchyConfig {
+    /// The Alpha-21264-like base system: 64 KB/2-way L1, 2 MB L2.
+    #[must_use]
+    pub fn alpha_like(l1_latency: u64, l2_latency: u64, memory_latency: u64) -> Self {
+        Self {
+            l1_capacity: 64 * 1024,
+            l1_ways: 2,
+            l2_capacity: 2 * 1024 * 1024,
+            l2_ways: 1,
+            line: 64,
+            l1_latency,
+            l2_latency,
+            memory_latency,
+            mshr_limit: 8,
+        }
+    }
+
+    /// The CRAY-1S-style system of §4.2: no caches, flat `memory_latency`.
+    #[must_use]
+    pub fn flat_memory(memory_latency: u64) -> Self {
+        Self {
+            l1_capacity: 0,
+            l1_ways: 1,
+            l2_capacity: 0,
+            l2_ways: 1,
+            line: 64,
+            l1_latency: 0,
+            l2_latency: 0,
+            memory_latency,
+            // The CRAY-1S issued loads from a scoreboarded register file;
+            // memory banking sustained one access per cycle, so in-flight
+            // parallelism is not the bottleneck we model here.
+            mshr_limit: 0,
+        }
+    }
+}
+
+/// A two-level data-cache hierarchy returning access latency in cycles.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Option<Cache>,
+    l2: Option<Cache>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `config`.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        let l1 = (config.l1_capacity > 0)
+            .then(|| Cache::new(config.l1_capacity, config.l1_ways, config.line));
+        let l2 = (config.l2_capacity > 0)
+            .then(|| Cache::new(config.l2_capacity, config.l2_ways, config.line));
+        Self { config, l1, l2 }
+    }
+
+    /// The configured latencies and geometry.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs a data access and returns its latency in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        match (&mut self.l1, &mut self.l2) {
+            (None, _) => self.config.memory_latency,
+            (Some(l1), l2) => {
+                if l1.access(addr) {
+                    self.config.l1_latency
+                } else if let Some(l2) = l2 {
+                    if l2.access(addr) {
+                        self.config.l1_latency + self.config.l2_latency
+                    } else {
+                        self.config.l1_latency
+                            + self.config.l2_latency
+                            + self.config.memory_latency
+                    }
+                } else {
+                    self.config.l1_latency + self.config.memory_latency
+                }
+            }
+        }
+    }
+
+    /// L1 statistics (zeroes when caches are disabled).
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.as_ref().map(Cache::stats).unwrap_or_default()
+    }
+
+    /// L2 statistics (zeroes when absent).
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.as_ref().map(Cache::stats).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, 2-set cache: lines 0,2,4 map to set 0 (line=64, sets=2).
+        let mut c = Cache::new(256, 2, 64);
+        assert!(!c.access(0)); // set0: [0]
+        assert!(!c.access(128)); // set0: [2,0]
+        assert!(c.access(0)); // set0: [0,2]
+        assert!(!c.access(256)); // evicts 2 → [4,0]
+        assert!(c.access(0));
+        assert!(!c.access(128)); // 2 was evicted
+    }
+
+    #[test]
+    fn within_line_accesses_hit() {
+        let mut c = Cache::new(64 * 1024, 2, 64);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1001));
+        assert!(c.access(0x103f));
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn stats_track_rates() {
+        let mut c = Cache::new(1024, 1, 64);
+        for i in 0..16 {
+            c.access(i * 64);
+        }
+        for i in 0..16 {
+            c.access(i * 64);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 16);
+        assert_eq!(s.hits, 16);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_latency_tiers() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            l1_capacity: 1024,
+            l1_ways: 1,
+            l2_capacity: 64 * 1024,
+            l2_ways: 1,
+            line: 64,
+            l1_latency: 3,
+            l2_latency: 12,
+            memory_latency: 100,
+            mshr_limit: 0,
+        });
+        // Cold: L1 miss, L2 miss → full stack.
+        assert_eq!(h.access(0x0), 115);
+        // Hot in L1.
+        assert_eq!(h.access(0x0), 3);
+        // Thrash L1 (1 KB direct) but stay in L2.
+        for i in 0..64 {
+            h.access(i * 64);
+        }
+        assert_eq!(h.access(0x0), 15);
+    }
+
+    #[test]
+    fn flat_memory_mode_charges_constant() {
+        let mut h = Hierarchy::new(HierarchyConfig::flat_memory(12));
+        assert_eq!(h.access(0x0), 12);
+        assert_eq!(h.access(0x0), 12); // no caching whatsoever
+        assert_eq!(h.l1_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn alpha_like_geometry() {
+        let h = Hierarchy::new(HierarchyConfig::alpha_like(3, 12, 80));
+        assert_eq!(h.config().l1_capacity, 64 * 1024);
+        assert_eq!(h.config().l2_capacity, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        let _ = Cache::new(3 * 64, 1, 64);
+    }
+}

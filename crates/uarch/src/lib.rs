@@ -1,0 +1,46 @@
+//! Microarchitecture component library for the fo4depth pipeline models.
+//!
+//! Each module is an independently testable component of the
+//! Alpha-21264-class machine the paper scales:
+//!
+//! * [`branch`] — branch direction predictors (bimodal, gshare, local
+//!   two-level, and the 21264's tournament predictor) plus a small BTB.
+//! * [`cache`] — set-associative cache models and a two-level hierarchy
+//!   with a flat memory behind it (including the CRAY-1S-style
+//!   caches-disabled mode of the paper's §4.2).
+//! * [`rename`] — register rename map with a physical-register free list.
+//! * [`rob`] — the reorder buffer.
+//! * [`window`] — the conventional instruction issue window (single-cycle
+//!   or multi-cycle wakeup, oldest-first select).
+//! * [`segmented`] — the paper's §5 contribution: the segmented issue
+//!   window with staged tag broadcast (Figure 10) and quota-limited
+//!   pre-selection (Figure 12).
+//! * [`speculative`] — the grandparent-wakeup pipelined scheduler of
+//!   Stark, Brown & Patt, the §6 point of comparison.
+//! * [`lsq`] — load/store queue with store-to-load forwarding.
+//! * [`fu`] — functional-unit pool with per-class issue slots and
+//!   latencies.
+//!
+//! Components speak in plain `u64` cycle numbers and `i64`/`u32` sizes; the
+//! clock-scaling logic that decides *how many* cycles each structure costs
+//! lives in `fo4depth-study`.
+
+pub mod branch;
+pub mod cache;
+pub mod fu;
+pub mod lsq;
+pub mod rename;
+pub mod rob;
+pub mod segmented;
+pub mod speculative;
+pub mod window;
+
+pub use branch::{Bimodal, BranchPredictor, Btb, Gshare, LocalTwoLevel, Perceptron, Tournament};
+pub use cache::{Cache, CacheStats, Hierarchy, HierarchyConfig};
+pub use fu::{FuClass, FuPool, FuPoolConfig};
+pub use lsq::LoadStoreQueue;
+pub use rename::{RenameMap, RenameStall};
+pub use rob::{ReorderBuffer, RobEntry};
+pub use segmented::{SegmentedWindow, SelectMode};
+pub use speculative::SpeculativeWindow;
+pub use window::{IssueBudget, WindowEntry, WindowModel};

@@ -1,0 +1,366 @@
+//! Sampling distributions used by the synthetic workload models.
+//!
+//! Workload generation (crate `fo4depth-workload`) needs three shapes:
+//!
+//! * [`Geometric`] — dependency distances and run lengths ("most consumers
+//!   are near their producer");
+//! * [`Zipf`] — skewed selection of hot branches, hot pages, and hot
+//!   registers ("a few entities take most of the traffic");
+//! * [`Discrete`] — weighted choice over instruction classes (the op mix).
+//!
+//! All samplers draw from any [`Rng64`], take no global state, and are
+//! cheap enough to call once per simulated instruction.
+
+use crate::rng::Rng64;
+
+/// Geometric distribution on `{1, 2, 3, …}` with success probability `p`.
+///
+/// `P(k) = (1-p)^(k-1) · p`; mean `1/p`. Sampled by inversion, so one uniform
+/// draw per sample.
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::{Geometric, Rng64, Xoshiro256StarStar};
+/// let g = Geometric::new(0.5).unwrap();
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+/// assert!(g.sample(&mut rng) >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `p` is not in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if p.is_nan() || p <= 0.0 || p > 1.0 {
+            return Err(ParamError::new("geometric p must be in (0, 1]"));
+        }
+        Ok(Self {
+            p,
+            ln_q: (1.0 - p).ln(),
+        })
+    }
+
+    /// Creates a geometric distribution with the given mean (`mean = 1/p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean < 1`.
+    pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
+        if mean.is_nan() || mean < 1.0 {
+            return Err(ParamError::new("geometric mean must be >= 1"));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The success probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample, always ≥ 1.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inversion: k = ceil(ln(u) / ln(1-p)).
+        let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let k = (u.ln() / self.ln_q).ceil();
+        if k < 1.0 {
+            1
+        } else if k > u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+}
+
+/// Zipf (zeta) distribution on `{0, 1, …, n-1}` with exponent `s`.
+///
+/// `P(rank) ∝ 1 / (rank+1)^s`. Sampled by binary search over a precomputed
+/// CDF (the `n` used by workloads is at most a few thousand, so the table is
+/// small and sampling is `O(log n)`).
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::{Rng64, Xoshiro256StarStar, Zipf};
+/// let z = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// assert!(z.sample(&mut rng) < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("zipf n must be positive"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError::new("zipf exponent must be finite and >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has zero ranks (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most probable.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Discrete distribution over `{0, …, n-1}` given arbitrary non-negative
+/// weights — the op-mix sampler.
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::{Discrete, Rng64, Xoshiro256StarStar};
+/// // 60% class 0, 30% class 1, 10% class 2.
+/// let d = Discrete::new(&[0.6, 0.3, 0.1]).unwrap();
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+/// assert!(d.sample(&mut rng) < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cdf: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates a discrete distribution from weights (need not sum to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("discrete weights must be non-empty"));
+        }
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(weights.len());
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::new(
+                    "discrete weights must be finite and non-negative",
+                ));
+            }
+            acc += w;
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(ParamError::new("discrete weights must not all be zero"));
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether there are zero categories (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn probability(&self, i: usize) -> f64 {
+        let hi = self.cdf[i];
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        hi - lo
+    }
+}
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    msg: &'static str,
+}
+
+impl ParamError {
+    fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn geometric_mean_matches() {
+        let g = Geometric::with_mean(4.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(100);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| g.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((3.9..4.1).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_constant_one() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_rejects_bad_params() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.5).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::with_mean(0.5).is_err());
+        assert!(Geometric::with_mean(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_likely() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut counts = [0u32; 50];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[0] > counts[49] * 10);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn discrete_probabilities_respected() {
+        let d = Discrete::new(&[6.0, 3.0, 1.0]).unwrap();
+        assert!((d.probability(0) - 0.6).abs() < 1e-12);
+        assert!((d.probability(1) - 0.3).abs() < 1e-12);
+        assert!((d.probability(2) - 0.1).abs() < 1e-12);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!((58_000..62_000).contains(&counts[0]));
+        assert!((28_000..32_000).contains(&counts[1]));
+        assert!((8_000..12_000).contains(&counts[2]));
+    }
+
+    #[test]
+    fn discrete_zero_weight_category_never_drawn() {
+        let d = Discrete::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn discrete_rejects_bad_params() {
+        assert!(Discrete::new(&[]).is_err());
+        assert!(Discrete::new(&[0.0, 0.0]).is_err());
+        assert!(Discrete::new(&[1.0, -1.0]).is_err());
+        assert!(Discrete::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn param_error_displays() {
+        let err = Discrete::new(&[]).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

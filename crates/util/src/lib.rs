@@ -1,0 +1,36 @@
+//! Deterministic pseudo-random number generation, sampling distributions, and
+//! statistics helpers shared by the `fo4depth` simulator suite.
+//!
+//! The simulators in this workspace must be *bit-reproducible* across
+//! platforms and releases: every experiment in the ISCA 2002 reproduction is
+//! seeded, and calibration tests assert exact optima. To avoid depending on
+//! the evolving APIs (and stream definitions) of external RNG crates, this
+//! crate carries its own small, well-known generators:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit generator used for seeding,
+//! * [`Xoshiro256StarStar`] — the workhorse generator used by all workload
+//!   generators and stochastic models.
+//!
+//! On top of the raw generators sit the sampling helpers in [`dist`]
+//! (geometric, Zipf, discrete/weighted choice, …) and the measurement
+//! helpers in [`stats`] (running moments, harmonic mean, histograms).
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_util::{Rng64, Xoshiro256StarStar};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let coin = rng.next_f64() < 0.5;
+//! let die = rng.next_range(6) + 1;
+//! assert!((1..=6).contains(&die));
+//! let _ = coin;
+//! ```
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{Discrete, Geometric, Zipf};
+pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+pub use stats::{harmonic_mean, Histogram, RunningStats};

@@ -1,0 +1,333 @@
+//! Measurement helpers: running moments, harmonic means, histograms.
+//!
+//! The paper aggregates per-benchmark performance with the *harmonic mean*
+//! (the conventional aggregate for rates like BIPS), so that helper lives
+//! here alongside the running statistics used by the simulators' counters.
+
+/// Harmonic mean of a sequence of positive rates.
+///
+/// Returns `None` for an empty iterator or if any value is `<= 0` or
+/// non-finite (the harmonic mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::harmonic_mean;
+/// let hm = harmonic_mean([1.0, 2.0, 4.0]).unwrap();
+/// assert!((hm - 12.0 / 7.0).abs() < 1e-12);
+/// assert!(harmonic_mean(std::iter::empty::<f64>()).is_none());
+/// ```
+pub fn harmonic_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut n = 0usize;
+    let mut recip_sum = 0.0;
+    for v in values {
+        if !v.is_finite() || v <= 0.0 {
+            return None;
+        }
+        n += 1;
+        recip_sum += 1.0 / v;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(n as f64 / recip_sum)
+    }
+}
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; `0.0` if fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` if empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` if empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations, with an overflow bucket.
+///
+/// Bucket `i` counts observations equal to `i`; observations `>= len` land in
+/// the overflow bucket. Used for dependency-distance and latency-distribution
+/// diagnostics in the simulators.
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_util::Histogram;
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(2);
+/// h.record(99); // overflow
+/// assert_eq!(h.count(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `len` exact buckets.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            buckets: vec![0; len],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i` (0 if out of range).
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Count of observations that exceeded the bucket range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Number of exact buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the histogram has zero exact buckets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Mean of recorded values, counting overflow observations as `len`
+    /// (a floor on their true value); `0.0` if empty.
+    #[must_use]
+    pub fn mean_floor(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum::<u64>()
+            + self.overflow * self.buckets.len() as u64;
+        sum as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basic() {
+        let hm = harmonic_mean([2.0, 2.0]).unwrap();
+        assert!((hm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_below_arithmetic() {
+        let hm = harmonic_mean([1.0, 9.0]).unwrap();
+        assert!(hm < 5.0);
+        assert!(hm > 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_nonpositive() {
+        assert!(harmonic_mean([1.0, 0.0]).is_none());
+        assert!(harmonic_mean([1.0, -2.0]).is_none());
+        assert!(harmonic_mean([f64::NAN]).is_none());
+        assert!(harmonic_mean([f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn running_stats_moments() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.push(3.0);
+        let b = RunningStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = RunningStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_records_and_overflows() {
+        let mut h = Histogram::new(3);
+        for v in [0, 1, 1, 2, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn histogram_mean_floor() {
+        let mut h = Histogram::new(10);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean_floor() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,485 @@
+//! The trace generator: profile + seed → deterministic instruction stream
+//! with real register dataflow.
+
+use fo4depth_isa::{ArchReg, Instruction, OpClass, Opcode};
+use fo4depth_util::{Discrete, Geometric, Rng64, SplitMix64, Xoshiro256StarStar, Zipf};
+
+use crate::profile::BenchProfile;
+
+/// Number of rotating destination registers per bank; the remaining
+/// architectural names are long-lived "globals".
+const ROTATING_REGS: u8 = 24;
+
+/// Code region base and span used for synthetic PCs.
+const CODE_BASE: u64 = 0x12_0000;
+
+/// An infinite, deterministic instruction stream.
+///
+/// Dependency realization: the generator remembers the destination register
+/// of each of the last 64 instructions (per bank). A sampled dependency
+/// distance `d` resolves a source operand to the destination written `d`
+/// instructions ago, so the dataflow graph the simulator sees has exactly
+/// the sampled distance distribution. Distances that fall on instructions
+/// without a destination in the right bank, and a `far_source_fraction` of
+/// all operands, fall back to long-lived registers (never a recent
+/// producer).
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_workload::{profiles, TraceGenerator};
+/// let p = profiles::by_name("181.mcf").unwrap();
+/// let trace: Vec<_> = TraceGenerator::new(p.clone(), 1).take(100).collect();
+/// assert_eq!(trace.len(), 100);
+/// // Determinism:
+/// let again: Vec<_> = TraceGenerator::new(p.clone(), 1).take(100).collect();
+/// assert_eq!(trace, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchProfile,
+    rng: Xoshiro256StarStar,
+    mix: Discrete,
+    dep: Geometric,
+    site_pick: Zipf,
+    hot_pick: Zipf,
+    jump_pick: Zipf,
+    /// Taken-probability per static branch site (NaN marks a correlated
+    /// site, whose outcome follows the previous dynamic branch).
+    site_bias: Vec<f64>,
+    /// Outcome of the most recent conditional branch.
+    last_branch_taken: bool,
+    /// Stable target per static jump site (calls, returns, direct jumps).
+    jump_targets: Vec<u64>,
+    /// Ring of recent destination registers (both banks interleaved by age).
+    recent: [Option<ArchReg>; 64],
+    head: usize,
+    /// Next rotating destination index per bank.
+    next_int: u8,
+    next_fp: u8,
+    /// Ever-advancing pointer for fresh (compulsory-miss) references.
+    fresh_addr: u64,
+    /// Cursor of the cyclic walk over the L2-resident pool.
+    pool_cursor: u64,
+    /// Destination registers of the most recent integer loads (pointer
+    /// chasing pool).
+    recent_load_dests: [Option<ArchReg>; 4],
+    load_dest_head: usize,
+    pc: u64,
+    emitted: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BenchProfile::validate`].
+    #[must_use]
+    pub fn new(profile: BenchProfile, seed: u64) -> Self {
+        if let Err(e) = profile.validate() {
+            panic!("invalid profile: {e}");
+        }
+        let mut seeder = SplitMix64::new(seed ^ SplitMix64::mix(hash_name(&profile.name)));
+        let rng = Xoshiro256StarStar::seed_from_u64(seeder.next_u64());
+        let mix = Discrete::new(&profile.mix.weights()).expect("validated mix");
+        let dep = Geometric::with_mean(profile.mean_dep_distance).expect("validated distance");
+        let site_pick =
+            Zipf::new(profile.branches.static_sites, profile.branches.site_skew).expect("sites");
+        let hot_pick = Zipf::new(profile.memory.hot_lines, 0.6).expect("hot lines");
+        let jump_sites = (profile.branches.static_sites / 8).max(16);
+        let jump_pick = Zipf::new(jump_sites, 1.0).expect("jump sites");
+
+        // Per-site biases, deterministic in the seed.
+        let mut bias_rng = Xoshiro256StarStar::seed_from_u64(seeder.next_u64());
+        let site_bias = (0..profile.branches.static_sites)
+            .map(|_| {
+                if bias_rng.next_bool(profile.branches.correlated_fraction) {
+                    // Correlated site: marked with NaN; resolved dynamically
+                    // against the previous branch outcome.
+                    f64::NAN
+                } else if bias_rng.next_bool(profile.branches.biased_fraction) {
+                    // Strongly biased site, taken or not-taken flavour.
+                    if bias_rng.next_bool(0.6) {
+                        profile.branches.bias_strength
+                    } else {
+                        1.0 - profile.branches.bias_strength
+                    }
+                } else {
+                    // Weakly biased: outcome near coin-flip.
+                    bias_rng.next_f64_range(0.35, 0.65)
+                }
+            })
+            .collect();
+
+        let mut target_rng = Xoshiro256StarStar::seed_from_u64(seeder.next_u64());
+        let jump_targets = (0..jump_sites)
+            .map(|_| CODE_BASE + target_rng.next_range(4096) * 4)
+            .collect();
+
+        Self {
+            profile,
+            rng,
+            mix,
+            dep,
+            site_pick,
+            hot_pick,
+            jump_pick,
+            site_bias,
+            last_branch_taken: true,
+            jump_targets,
+            recent: [None; 64],
+            head: 0,
+            next_int: 0,
+            next_fp: 0,
+            fresh_addr: 0x4000_0000,
+            pool_cursor: 0,
+            recent_load_dests: [None; 4],
+            load_dest_head: 0,
+            pc: CODE_BASE,
+            emitted: 0,
+        }
+    }
+
+    /// The profile driving this generator.
+    #[must_use]
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    /// Number of instructions generated so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Addresses a simulator should touch before timing starts so the
+    /// caches hold this workload's resident sets — the stand-in for the
+    /// paper's 500 M-instruction fast-forward.
+    #[must_use]
+    pub fn prewarm_addresses(&self) -> Vec<u64> {
+        let mut addrs = Vec::new();
+        // L2 pool, then hot lines last so the hot set ends up most recent
+        // in the L1.
+        for line in 0..Self::L2_POOL_LINES {
+            addrs.push(0x2000_0000 + line * 64);
+        }
+        for line in 0..self.profile.memory.hot_lines as u64 {
+            addrs.push(0x7fff_0000 + line * 64);
+        }
+        addrs
+    }
+
+    /// Resolves a source operand at the sampled dependency distance,
+    /// preferring a real recent producer in the wanted bank.
+    fn source(&mut self, fp: bool) -> ArchReg {
+        let far = self.rng.next_bool(self.profile.far_source_fraction);
+        if !far {
+            let d = self.dep.sample(&mut self.rng) as usize;
+            if d <= self.recent.len() {
+                let idx = (self.head + self.recent.len() - d) % self.recent.len();
+                if let Some(reg) = self.recent[idx] {
+                    let is_fp = reg.bank() == fo4depth_isa::RegBank::Fp;
+                    if is_fp == fp {
+                        return reg;
+                    }
+                }
+            }
+        }
+        // Long-lived register (r24..r31 / f24..f31).
+        let idx = ROTATING_REGS + self.rng.next_range(8) as u8;
+        if fp {
+            ArchReg::fp(idx)
+        } else {
+            ArchReg::int(idx)
+        }
+    }
+
+    /// Allocates the next rotating destination register.
+    fn dest(&mut self, fp: bool) -> ArchReg {
+        if fp {
+            let r = ArchReg::fp(self.next_fp);
+            self.next_fp = (self.next_fp + 1) % ROTATING_REGS;
+            r
+        } else {
+            let r = ArchReg::int(self.next_int);
+            self.next_int = (self.next_int + 1) % ROTATING_REGS;
+            r
+        }
+    }
+
+    /// A recent integer-load destination, if any (for pointer chasing).
+    fn recent_load_dest(&mut self) -> Option<ArchReg> {
+        let pick = self.rng.next_range(self.recent_load_dests.len() as u64) as usize;
+        self.recent_load_dests[pick].or_else(|| self.recent_load_dests.iter().flatten().next().copied())
+    }
+
+    fn push_recent(&mut self, dest: Option<ArchReg>) {
+        self.recent[self.head] = dest;
+        self.head = (self.head + 1) % self.recent.len();
+    }
+
+    /// Number of lines in the L2-resident pool: 512 KB, comfortably above
+    /// the 64 KB L1 yet within a mid-size L2 — so that shrinking the L2
+    /// below half a megabyte visibly costs hits (the §4.5 trade-off).
+    const L2_POOL_LINES: u64 = 8192;
+
+    /// Generates a data address according to the memory model's reuse
+    /// classes (see [`MemoryModel`](crate::MemoryModel)).
+    fn data_address(&mut self) -> u64 {
+        let m = &self.profile.memory;
+        let u = self.rng.next_f64();
+        if u < m.memory {
+            // Fresh line: compulsory miss all the way to memory.
+            self.fresh_addr += 64;
+            self.fresh_addr
+        } else if u < m.memory + m.l2_resident {
+            // Cyclic walk over the L2-resident pool: the reuse distance of
+            // every line is exactly the pool size, which exceeds the L1 but
+            // not the L2 — a guaranteed L1 miss and (once warm) L2 hit.
+            let line = self.pool_cursor;
+            self.pool_cursor = (self.pool_cursor + 1) % Self::L2_POOL_LINES;
+            0x2000_0000 + line * 64 + self.rng.next_range(8) * 8
+        } else {
+            // Hot line (stack/global), Zipf-skewed, L1-resident.
+            let line = self.hot_pick.sample(&mut self.rng) as u64;
+            0x7fff_0000 + line * 64 + self.rng.next_range(8) * 8
+        }
+    }
+
+    fn gen_one(&mut self) -> Instruction {
+        let class = match self.mix.sample(&mut self.rng) {
+            0 => OpClass::IntAlu,
+            1 => OpClass::IntMult,
+            2 => OpClass::FpAdd,
+            3 => OpClass::FpMult,
+            4 => OpClass::FpDiv,
+            5 => OpClass::FpSqrt,
+            6 => OpClass::Load,
+            7 => OpClass::Store,
+            8 => OpClass::Branch,
+            _ => OpClass::Jump,
+        };
+        let opcode = Opcode::representative(class);
+        let pc = self.pc;
+        self.pc += 4;
+
+        let inst = match class {
+            OpClass::IntAlu | OpClass::IntMult => {
+                let s1 = self.source(false);
+                let s2 = self.source(false);
+                let d = self.dest(false);
+                self.push_recent(Some(d));
+                Instruction::alu(opcode, s1, s2, d)
+            }
+            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt => {
+                let s1 = self.source(true);
+                let s2 = self.source(true);
+                let d = self.dest(true);
+                self.push_recent(Some(d));
+                Instruction::alu(opcode, s1, s2, d)
+            }
+            OpClass::Load => {
+                // Pointer chasing: some loads' base addresses are produced
+                // by recent loads, serializing on the load-use loop.
+                let chained = self.rng.next_bool(self.profile.load_chain_fraction);
+                let base = match (chained, self.recent_load_dest()) {
+                    (true, Some(r)) => r,
+                    _ => self.source(false),
+                };
+                let fp_dest = self.profile.mix.fp_add + self.profile.mix.fp_mult > 0.05
+                    && self.rng.next_bool(0.5);
+                let d = self.dest(fp_dest);
+                self.push_recent(Some(d));
+                if !fp_dest {
+                    self.recent_load_dests[self.load_dest_head] = Some(d);
+                    self.load_dest_head = (self.load_dest_head + 1) % self.recent_load_dests.len();
+                }
+                let addr = self.data_address();
+                let mut i = Instruction::load(opcode, d, base, addr);
+                if fp_dest {
+                    i.opcode = Opcode::Ldt;
+                }
+                i
+            }
+            OpClass::Store => {
+                let val = self.source(false);
+                let base = self.source(false);
+                self.push_recent(None);
+                let addr = self.data_address();
+                Instruction::store(opcode, val, base, addr)
+            }
+            OpClass::Branch => {
+                let site = self.site_pick.sample(&mut self.rng);
+                let taken = {
+                    let p = self.site_bias[site];
+                    if p.is_nan() {
+                        // Correlated site: follow the previous branch with
+                        // high fidelity — long agreeing runs that history
+                        // predictors learn exactly and counters track well.
+                        let follow = self.rng.next_bool(0.97);
+                        if follow {
+                            self.last_branch_taken
+                        } else {
+                            !self.last_branch_taken
+                        }
+                    } else {
+                        self.rng.next_bool(p)
+                    }
+                };
+                self.last_branch_taken = taken;
+                // Each site has a stable PC and a mostly-backward target
+                // (loop-shaped); both are deterministic in the site id.
+                // Sites are packed densely so predictor and BTB indexing
+                // behave as for real code layouts.
+                let site_pc = CODE_BASE + 0x100 + (site as u64) * 4;
+                let span = 4 * (self.profile.branches.mean_block as u64 + site as u64 % 32 + 1);
+                let target = if site % 8 < 6 {
+                    site_pc.saturating_sub(span) // backward: loop branch
+                } else {
+                    site_pc + span // forward: if/else
+                };
+                let cond = self.source(false);
+                self.push_recent(None);
+                let mut i = Instruction::branch(opcode, cond, taken, target);
+                i.pc = site_pc;
+                self.pc = if taken { target } else { site_pc + 4 };
+                return {
+                    self.emitted += 1;
+                    i
+                };
+            }
+            OpClass::Jump => {
+                self.push_recent(None);
+                // Jumps come from stable sites (calls/returns/direct
+                // branches learn their targets); a small fraction behave as
+                // indirect jumps with a handful of alternating targets.
+                let site = self.jump_pick.sample(&mut self.rng);
+                // Jump sites live just past the branch-site region so the
+                // two never alias in direct-mapped predictor structures.
+                let site_pc = CODE_BASE
+                    + 0x100
+                    + (self.profile.branches.static_sites as u64 + site as u64) * 4;
+                let target = if self.rng.next_bool(0.03) {
+                    self.jump_targets[site] + 64 * (1 + self.rng.next_range(3))
+                } else {
+                    self.jump_targets[site]
+                };
+                let mut i = Instruction::jump(opcode, target);
+                i.pc = site_pc;
+                self.pc = target;
+                return {
+                    self.emitted += 1;
+                    i
+                };
+            }
+            OpClass::Nop => {
+                self.push_recent(None);
+                Instruction::nop()
+            }
+        };
+        self.emitted += 1;
+        inst.at_pc(pc)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        Some(self.gen_one())
+    }
+}
+
+/// Stable 64-bit hash of a benchmark name (FNV-1a) so different benchmarks
+/// get decorrelated streams even under the same user seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let a: Vec<_> = TraceGenerator::new(p.clone(), 7).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(p.clone(), 7).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let a: Vec<_> = TraceGenerator::new(p.clone(), 1).take(200).collect();
+        let b: Vec<_> = TraceGenerator::new(p.clone(), 2).take(200).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_benchmarks_differ_under_same_seed() {
+        let a: Vec<_> = TraceGenerator::new(profiles::by_name("164.gzip").unwrap().clone(), 1)
+            .take(200)
+            .collect();
+        let b: Vec<_> = TraceGenerator::new(profiles::by_name("175.vpr").unwrap().clone(), 1)
+            .take(200)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memory_ops_have_addresses_and_alu_ops_do_not() {
+        let p = profiles::by_name("181.mcf").unwrap();
+        for i in TraceGenerator::new(p.clone(), 3).take(2000) {
+            match i.op_class() {
+                OpClass::Load | OpClass::Store => assert!(i.mem_addr.is_some()),
+                _ => assert!(i.mem_addr.is_none()),
+            }
+            if i.op_class().is_control() {
+                assert!(i.branch.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn fp_benchmark_emits_fp_ops() {
+        let p = profiles::by_name("171.swim").unwrap();
+        let fp = TraceGenerator::new(p.clone(), 3)
+            .take(2000)
+            .filter(|i| i.op_class().is_fp())
+            .count();
+        assert!(fp > 400, "only {fp} FP ops in 2000");
+    }
+
+    #[test]
+    fn branch_sites_repeat() {
+        // The same static site must reappear with the same PC so a
+        // predictor can learn it.
+        let p = profiles::by_name("164.gzip").unwrap();
+        let pcs: Vec<u64> = TraceGenerator::new(p.clone(), 5)
+            .take(5000)
+            .filter(|i| i.op_class() == OpClass::Branch)
+            .map(|i| i.pc)
+            .collect();
+        assert!(pcs.len() > 300);
+        let distinct: std::collections::HashSet<_> = pcs.iter().collect();
+        assert!(distinct.len() < pcs.len() / 2, "sites never repeat");
+    }
+
+    #[test]
+    fn emitted_counts() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let mut g = TraceGenerator::new(p.clone(), 1);
+        for _ in 0..100 {
+            let _ = g.next();
+        }
+        assert_eq!(g.emitted(), 100);
+    }
+}

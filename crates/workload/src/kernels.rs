@@ -1,0 +1,141 @@
+//! Analytic verification kernels: tiny synthetic programs whose steady-state
+//! IPC on an ideal machine is known in closed form, used to verify the
+//! simulators' timing rules independently of the statistical workloads.
+//!
+//! | kernel | ideal OoO IPC at the Alpha point |
+//! |---|---|
+//! | [`dependent_chain`] | 1 / int-ALU latency (= 1) |
+//! | [`independent_alu`] | integer issue width (= 4) |
+//! | [`pointer_chase`] | 1 / L1 load-use latency (= 1/3) |
+//! | [`fp_chain`] | 1 / FP-add latency (= 1/4) |
+//! | [`interleaved_chains`] | min(chains, width) / latency |
+//!
+//! Each returns an infinite iterator suitable for the cores' constructors.
+
+use fo4depth_isa::{ArchReg, Instruction, Opcode};
+
+/// A single serial dependence chain through `r1`: IPC can never exceed the
+/// reciprocal of the ALU latency.
+pub fn dependent_chain() -> impl Iterator<Item = Instruction> {
+    (0u64..).map(|i| {
+        Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
+            .at_pc(0x1000 + i * 4)
+    })
+}
+
+/// Fully independent ALU operations over a rotating destination set: IPC is
+/// bounded only by machine width.
+pub fn independent_alu() -> impl Iterator<Item = Instruction> {
+    (0u64..).map(|i| {
+        Instruction::alu(
+            Opcode::Addq,
+            ArchReg::int(30),
+            ArchReg::int(31),
+            ArchReg::int((i % 20) as u8),
+        )
+        .at_pc(0x1000 + i * 4)
+    })
+}
+
+/// A serial chain of loads, each consuming the previous load's result as
+/// its base — the purest load-use loop. All addresses fall in one hot line
+/// so every access is an L1 hit.
+pub fn pointer_chase() -> impl Iterator<Item = Instruction> {
+    (0u64..).map(|i| {
+        Instruction::load(Opcode::Ldq, ArchReg::int(1), ArchReg::int(1), 0x7fff_0000)
+            .at_pc(0x1000 + i * 4)
+    })
+}
+
+/// A serial FP-add chain: IPC = 1 / FP-add latency.
+pub fn fp_chain() -> impl Iterator<Item = Instruction> {
+    (0u64..).map(|i| {
+        Instruction::alu(Opcode::Addt, ArchReg::fp(1), ArchReg::fp(2), ArchReg::fp(1))
+            .at_pc(0x1000 + i * 4)
+    })
+}
+
+/// `chains` independent serial ALU chains interleaved round-robin: the
+/// machine can sustain one instruction per chain per latency, capped by
+/// issue width.
+///
+/// # Panics
+///
+/// Panics if `chains` is 0 or exceeds 16.
+pub fn interleaved_chains(chains: u8) -> impl Iterator<Item = Instruction> {
+    assert!((1..=16).contains(&chains), "1..=16 chains supported");
+    (0u64..).map(move |i| {
+        let c = (i % u64::from(chains)) as u8;
+        Instruction::alu(
+            Opcode::Addq,
+            ArchReg::int(c),
+            ArchReg::int(20),
+            ArchReg::int(c),
+        )
+        .at_pc(0x1000 + i * 4)
+    })
+}
+
+/// A loop-shaped branch stream: every `body` instructions, a perfectly
+/// biased taken branch back to the top — exercises fetch fragmentation and
+/// the taken-branch re-steer bubble without mispredictions.
+///
+/// # Panics
+///
+/// Panics if `body` is zero.
+pub fn tight_loop(body: u64) -> impl Iterator<Item = Instruction> {
+    assert!(body > 0, "loop needs a body");
+    (0u64..).map(move |i| {
+        let pos = i % (body + 1);
+        if pos == body {
+            Instruction::branch(Opcode::Bne, ArchReg::int(9), true, 0x1000).at_pc(0x1000 + body * 4)
+        } else {
+            Instruction::alu(
+                Opcode::Addq,
+                ArchReg::int(30),
+                ArchReg::int(31),
+                ArchReg::int((pos % 16) as u8),
+            )
+            .at_pc(0x1000 + pos * 4)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fo4depth_isa::OpClass;
+
+    #[test]
+    fn kernels_produce_expected_shapes() {
+        assert!(dependent_chain().take(10).all(|i| i.dest == i.src1));
+        assert!(independent_alu()
+            .take(10)
+            .all(|i| i.op_class() == OpClass::IntAlu));
+        assert!(pointer_chase().take(10).all(|i| {
+            i.op_class() == OpClass::Load && i.dest == i.src1
+        }));
+        assert!(fp_chain().take(10).all(|i| i.op_class().is_fp()));
+    }
+
+    #[test]
+    fn interleaved_chains_rotate() {
+        let insts: Vec<_> = interleaved_chains(3).take(6).collect();
+        assert_eq!(insts[0].dest, insts[3].dest);
+        assert_ne!(insts[0].dest, insts[1].dest);
+    }
+
+    #[test]
+    fn tight_loop_branches_at_the_bottom() {
+        let insts: Vec<_> = tight_loop(4).take(10).collect();
+        assert_eq!(insts[4].op_class(), OpClass::Branch);
+        assert!(insts[4].branch.unwrap().taken);
+        assert_eq!(insts[5].pc, 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "chains supported")]
+    fn interleaved_rejects_zero() {
+        let _ = interleaved_chains(0);
+    }
+}

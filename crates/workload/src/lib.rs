@@ -1,0 +1,52 @@
+//! Synthetic SPEC CPU2000-inspired workload generators.
+//!
+//! The paper drives its pipeline study with the SPEC 2000 suite (Table 2: 9
+//! integer benchmarks, 4 "vector" floating-point benchmarks with ample ILP,
+//! and 5 "non-vector" FP benchmarks), executed on a validated Alpha 21264
+//! simulator. SPEC binaries are license-gated, so this crate substitutes
+//! *statistically calibrated* synthetic instruction streams: each benchmark
+//! in Table 2 gets a [`BenchProfile`] describing
+//!
+//! * the instruction mix (ALU / multiply / FP / load / store / branch),
+//! * the register dependency structure (geometric dependency distances —
+//!   short for dependency-bound integer codes, long for vector codes),
+//! * branch behaviour (number of static sites, per-site bias, Zipf-skewed
+//!   site selection — which determines achievable prediction accuracy), and
+//! * the memory reference pattern (working-set size, streaming fraction,
+//!   hot-set skew — which determines cache miss rates).
+//!
+//! A [`TraceGenerator`] turns a profile plus a seed into a deterministic
+//! stream of [`Instruction`](fo4depth_isa::Instruction)s with *real*
+//! register dataflow: a sampled dependency distance `d` makes an operand of
+//! the current instruction the destination of the instruction `d` earlier,
+//! so an out-of-order core extracts exactly the parallelism the profile
+//! encodes.
+//!
+//! What this preserves from the paper (and what it cannot): aggregate IPC,
+//! branch misprediction rates, and cache behaviour are matched at the level
+//! that drives pipeline-depth conclusions; program semantics, phase
+//! behaviour, and instruction-footprint effects are not modelled. See
+//! DESIGN.md §2.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_workload::{profiles, TraceGenerator};
+//!
+//! let profile = profiles::by_name("164.gzip").unwrap();
+//! let mut trace = TraceGenerator::new(profile.clone(), 42);
+//! let first = trace.next().unwrap();
+//! println!("{first}");
+//! ```
+
+pub mod generate;
+pub mod kernels;
+pub mod profile;
+pub mod profiles;
+pub mod stats;
+pub mod traceio;
+
+pub use generate::TraceGenerator;
+pub use profile::{BenchClass, BenchProfile, BranchModel, MemoryModel, OpMix};
+pub use stats::TraceStats;
+pub use traceio::{TraceReader, record};

@@ -1,0 +1,574 @@
+//! The eighteen SPEC CPU2000 benchmark profiles of the paper's Table 2.
+//!
+//! Parameters are loosely based on published characterizations of the suite
+//! (mix, branch behaviour, memory footprint) and then calibrated as a set so
+//! that the Alpha-21264-configured out-of-order core reproduces the IPC
+//! ordering the paper relies on: vector FP > integer > non-vector FP, with
+//! integer codes dependency- and branch-limited and vector codes
+//! memory-streaming with ample ILP.
+
+use crate::profile::{BenchClass, BenchProfile, BranchModel, MemoryModel, OpMix};
+
+fn int_profile(
+    name: &str,
+    dep: f64,
+    far: f64,
+    chain: f64,
+    branches: BranchModel,
+    memory: MemoryModel,
+    mix: OpMix,
+) -> BenchProfile {
+    BenchProfile {
+        name: name.into(),
+        class: BenchClass::Integer,
+        mix,
+        mean_dep_distance: dep,
+        far_source_fraction: far,
+        load_chain_fraction: chain,
+        branches,
+        memory,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fp(
+    name: &str,
+    class: BenchClass,
+    dep: f64,
+    far: f64,
+    chain: f64,
+    b: BranchModel,
+    m: MemoryModel,
+    mix: OpMix,
+) -> BenchProfile {
+    BenchProfile {
+        name: name.into(),
+        class,
+        mix,
+        mean_dep_distance: dep,
+        far_source_fraction: far,
+        load_chain_fraction: chain,
+        branches: b,
+        memory: m,
+    }
+}
+
+/// All 18 profiles, in Table 2 order (9 integer, 4 vector FP, 5 non-vector
+/// FP).
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_workload::{profiles, BenchClass};
+/// let all = profiles::all();
+/// assert_eq!(all.len(), 18);
+/// assert_eq!(all.iter().filter(|p| p.class == BenchClass::Integer).count(), 9);
+/// ```
+#[must_use]
+#[allow(clippy::vec_init_then_push)] // 18 structured entries read best as a sequence
+pub fn all() -> Vec<BenchProfile> {
+    let mut v = Vec::with_capacity(18);
+
+    // ---- SPECint 2000 (Table 2, left column) --------------------------
+    // 164.gzip: compression; tight dependency chains over small tables,
+    // highly predictable branches, small working set.
+    v.push(int_profile(
+        "164.gzip",
+        3.2,
+        0.30,
+        0.32,
+        BranchModel {
+            static_sites: 256,
+            biased_fraction: 0.92,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 512 * 1024,
+            l2_resident: 0.025,
+            memory: 0.002,
+            hot_lines: 672,
+        },
+        OpMix::integer(),
+    ));
+    // 175.vpr: place & route; pointer-y graphs, moderate working set.
+    v.push(int_profile(
+        "175.vpr",
+        3.5,
+        0.33,
+        0.58,
+        BranchModel {
+            static_sites: 768,
+            biased_fraction: 0.89,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 1024 * 1024,
+            l2_resident: 0.035,
+            memory: 0.004,
+            hot_lines: 768,
+        },
+        OpMix::integer(),
+    ));
+    // 176.gcc: compiler; huge branchy code, many static sites.
+    v.push(int_profile(
+        "176.gcc",
+        3.6,
+        0.36,
+        0.48,
+        BranchModel {
+            static_sites: 2048,
+            biased_fraction: 0.90,
+            mean_block: 5.0,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 2 * 1024 * 1024,
+            l2_resident: 0.05,
+            memory: 0.008,
+            hot_lines: 960,
+        },
+        OpMix {
+            branch: 0.19,
+            jump: 0.05,
+            ..OpMix::integer()
+        },
+    ));
+    // 181.mcf: single-source shortest paths over a huge sparse graph;
+    // notorious pointer-chasing cache thrasher.
+    v.push(int_profile(
+        "181.mcf",
+        2.9,
+        0.27,
+        0.88,
+        BranchModel {
+            static_sites: 192,
+            biased_fraction: 0.88,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 96 * 1024 * 1024,
+            l2_resident: 0.10,
+            memory: 0.10,
+            hot_lines: 384,
+        },
+        OpMix {
+            load: 0.33,
+            int_alu: 0.36,
+            ..OpMix::integer()
+        },
+    ));
+    // 197.parser: dictionary link-grammar parser; branchy, hard branches.
+    v.push(int_profile(
+        "197.parser",
+        3.3,
+        0.31,
+        0.62,
+        BranchModel {
+            static_sites: 1024,
+            biased_fraction: 0.89,
+            mean_block: 5.0,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 2 * 1024 * 1024,
+            l2_resident: 0.04,
+            memory: 0.006,
+            hot_lines: 768,
+        },
+        OpMix::integer(),
+    ));
+    // 252.eon: C++ ray tracer; int benchmark with real FP content.
+    v.push(int_profile(
+        "252.eon",
+        4.0,
+        0.36,
+        0.32,
+        BranchModel {
+            static_sites: 512,
+            biased_fraction: 0.90,
+            mean_block: 8.0,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 512 * 1024,
+            l2_resident: 0.015,
+            memory: 0.002,
+            hot_lines: 576,
+        },
+        OpMix {
+            fp_add: 0.06,
+            fp_mult: 0.05,
+            int_alu: 0.34,
+            branch: 0.11,
+            ..OpMix::integer()
+        },
+    ));
+    // 253.perlbmk: interpreter; indirect-jump heavy, big code footprint.
+    v.push(int_profile(
+        "253.perlbmk",
+        3.4,
+        0.34,
+        0.48,
+        BranchModel {
+            static_sites: 1536,
+            biased_fraction: 0.87,
+            mean_block: 5.5,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 2 * 1024 * 1024,
+            l2_resident: 0.025,
+            memory: 0.004,
+            hot_lines: 768,
+        },
+        OpMix {
+            jump: 0.06,
+            ..OpMix::integer()
+        },
+    ));
+    // 256.bzip2: compression; like gzip with a larger working set.
+    v.push(int_profile(
+        "256.bzip2",
+        3.2,
+        0.30,
+        0.32,
+        BranchModel {
+            static_sites: 256,
+            biased_fraction: 0.88,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 4 * 1024 * 1024,
+            l2_resident: 0.04,
+            memory: 0.010,
+            hot_lines: 576,
+        },
+        OpMix::integer(),
+    ));
+    // 300.twolf: placement/routing annealer; hard branches, medium set.
+    v.push(int_profile(
+        "300.twolf",
+        3.4,
+        0.32,
+        0.58,
+        BranchModel {
+            static_sites: 640,
+            biased_fraction: 0.86,
+            ..BranchModel::integer()
+        },
+        MemoryModel {
+            working_set: 1024 * 1024,
+            l2_resident: 0.06,
+            memory: 0.005,
+            hot_lines: 672,
+        },
+        OpMix::integer(),
+    ));
+
+    // ---- Vector FP (Table 2, middle column) ---------------------------
+    // 171.swim: shallow-water stencils; the archetypal streaming code.
+    v.push(fp(
+        "171.swim",
+        BenchClass::VectorFp,
+        9.5,
+        0.52,
+        0.04,
+        BranchModel::vector_fp(),
+        MemoryModel {
+            working_set: 48 * 1024 * 1024,
+            l2_resident: 0.18,
+            memory: 0.014,
+            hot_lines: 768,
+        },
+        OpMix::vector_fp(),
+    ));
+    // 172.mgrid: multigrid solver.
+    v.push(fp(
+        "172.mgrid",
+        BenchClass::VectorFp,
+        9.0,
+        0.50,
+        0.04,
+        BranchModel::vector_fp(),
+        MemoryModel {
+            working_set: 56 * 1024 * 1024,
+            l2_resident: 0.14,
+            memory: 0.011,
+            hot_lines: 768,
+        },
+        OpMix {
+            fp_mult: 0.22,
+            ..OpMix::vector_fp()
+        },
+    ));
+    // 173.applu: SSOR PDE solver.
+    v.push(fp(
+        "173.applu",
+        BenchClass::VectorFp,
+        8.6,
+        0.48,
+        0.04,
+        BranchModel::vector_fp(),
+        MemoryModel {
+            working_set: 40 * 1024 * 1024,
+            l2_resident: 0.13,
+            memory: 0.011,
+            hot_lines: 672,
+        },
+        OpMix {
+            fp_div: 0.012,
+            ..OpMix::vector_fp()
+        },
+    ));
+    // 183.equake: earthquake FEM; sparse but still vector-classified.
+    v.push(fp(
+        "183.equake",
+        BenchClass::VectorFp,
+        8.0,
+        0.45,
+        0.06,
+        BranchModel {
+            mean_block: 24.0,
+            ..BranchModel::vector_fp()
+        },
+        MemoryModel {
+            working_set: 28 * 1024 * 1024,
+            l2_resident: 0.15,
+            memory: 0.017,
+            hot_lines: 576,
+        },
+        OpMix {
+            load: 0.30,
+            ..OpMix::vector_fp()
+        },
+    ));
+
+    // ---- Non-vector FP (Table 2, right column) ------------------------
+    // 177.mesa: software GL rasterizer; FP with integer control flow.
+    v.push(fp(
+        "177.mesa",
+        BenchClass::NonVectorFp,
+        4.8,
+        0.35,
+        0.10,
+        BranchModel {
+            static_sites: 384,
+            site_skew: 0.9,
+            biased_fraction: 0.92,
+            bias_strength: 0.98,
+            correlated_fraction: 0.08,
+            mean_block: 9.0,
+        },
+        MemoryModel {
+            working_set: 3 * 1024 * 1024,
+            l2_resident: 0.020,
+            memory: 0.002,
+            hot_lines: 672,
+        },
+        OpMix::non_vector_fp(),
+    ));
+    // 178.galgel: Galerkin fluid dynamics; blocked dense algebra.
+    v.push(fp(
+        "178.galgel",
+        BenchClass::NonVectorFp,
+        6.0,
+        0.40,
+        0.08,
+        BranchModel {
+            static_sites: 128,
+            site_skew: 1.0,
+            biased_fraction: 0.95,
+            bias_strength: 0.99,
+            correlated_fraction: 0.06,
+            mean_block: 18.0,
+        },
+        MemoryModel {
+            working_set: 12 * 1024 * 1024,
+            l2_resident: 0.08,
+            memory: 0.012,
+            hot_lines: 576,
+        },
+        OpMix {
+            fp_add: 0.19,
+            fp_mult: 0.16,
+            ..OpMix::non_vector_fp()
+        },
+    ));
+    // 179.art: neural-network image recognition; tiny kernel, thrashy set.
+    v.push(fp(
+        "179.art",
+        BenchClass::NonVectorFp,
+        4.4,
+        0.32,
+        0.15,
+        BranchModel {
+            static_sites: 96,
+            site_skew: 1.1,
+            biased_fraction: 0.92,
+            bias_strength: 0.985,
+            correlated_fraction: 0.08,
+            mean_block: 11.0,
+        },
+        MemoryModel {
+            working_set: 24 * 1024 * 1024,
+            l2_resident: 0.20,
+            memory: 0.040,
+            hot_lines: 384,
+        },
+        OpMix {
+            load: 0.30,
+            fp_mult: 0.15,
+            ..OpMix::non_vector_fp()
+        },
+    ));
+    // 188.ammp: molecular dynamics; divide/sqrt heavy, pointer lists.
+    v.push(fp(
+        "188.ammp",
+        BenchClass::NonVectorFp,
+        4.1,
+        0.31,
+        0.40,
+        BranchModel {
+            static_sites: 256,
+            site_skew: 0.9,
+            biased_fraction: 0.90,
+            bias_strength: 0.98,
+            correlated_fraction: 0.08,
+            mean_block: 10.0,
+        },
+        MemoryModel {
+            working_set: 20 * 1024 * 1024,
+            l2_resident: 0.07,
+            memory: 0.020,
+            hot_lines: 576,
+        },
+        OpMix {
+            fp_div: 0.03,
+            fp_sqrt: 0.012,
+            ..OpMix::non_vector_fp()
+        },
+    ));
+    // 189.lucas: Lucas-Lehmer primality FFTs; long FP chains.
+    v.push(fp(
+        "189.lucas",
+        BenchClass::NonVectorFp,
+        5.6,
+        0.38,
+        0.08,
+        BranchModel {
+            static_sites: 64,
+            site_skew: 1.2,
+            biased_fraction: 0.97,
+            bias_strength: 0.995,
+            correlated_fraction: 0.05,
+            mean_block: 26.0,
+        },
+        MemoryModel {
+            working_set: 16 * 1024 * 1024,
+            l2_resident: 0.09,
+            memory: 0.015,
+            hot_lines: 576,
+        },
+        OpMix {
+            fp_add: 0.20,
+            fp_mult: 0.17,
+            branch: 0.04,
+            ..OpMix::non_vector_fp()
+        },
+    ));
+
+    debug_assert!(v.iter().all(|p| p.validate().is_ok()));
+    v
+}
+
+/// Looks a profile up by its SPEC-style name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<BenchProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The nine integer profiles.
+#[must_use]
+pub fn integer() -> Vec<BenchProfile> {
+    all()
+        .into_iter()
+        .filter(|p| p.class == BenchClass::Integer)
+        .collect()
+}
+
+/// The four vector-FP profiles.
+#[must_use]
+pub fn vector_fp() -> Vec<BenchProfile> {
+    all()
+        .into_iter()
+        .filter(|p| p.class == BenchClass::VectorFp)
+        .collect()
+}
+
+/// The five non-vector-FP profiles.
+#[must_use]
+pub fn non_vector_fp() -> Vec<BenchProfile> {
+    all()
+        .into_iter()
+        .filter(|p| p.class == BenchClass::NonVectorFp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts() {
+        assert_eq!(all().len(), 18);
+        assert_eq!(integer().len(), 9);
+        assert_eq!(vector_fp().len(), 4);
+        assert_eq!(non_vector_fp().len(), 5);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all() {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("181.mcf").is_some());
+        assert!(by_name("999.nope").is_none());
+    }
+
+    #[test]
+    fn vector_profiles_have_longer_dependencies_than_integer() {
+        let int_max = integer()
+            .iter()
+            .map(|p| p.mean_dep_distance)
+            .fold(0.0, f64::max);
+        let vec_min = vector_fp()
+            .iter()
+            .map(|p| p.mean_dep_distance)
+            .fold(f64::INFINITY, f64::min);
+        assert!(vec_min > int_max);
+    }
+
+    #[test]
+    fn table2_membership_matches_paper() {
+        let names: Vec<String> = vector_fp().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["171.swim", "172.mgrid", "173.applu", "183.equake"]
+        );
+        let nv: Vec<String> = non_vector_fp().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            nv,
+            vec!["177.mesa", "178.galgel", "179.art", "188.ammp", "189.lucas"]
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Trace measurement: verify that generated streams exhibit the statistics
+//! their profile promises.
+
+use std::collections::HashMap;
+
+use fo4depth_isa::{Instruction, OpClass};
+use fo4depth_util::Histogram;
+
+/// Aggregate statistics over a generated instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use fo4depth_workload::{profiles, TraceGenerator, TraceStats};
+/// let p = profiles::by_name("164.gzip").unwrap();
+/// let stats = TraceStats::measure(TraceGenerator::new(p.clone(), 1).take(10_000));
+/// assert!(stats.fraction(fo4depth_isa::OpClass::Load) > 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    counts: HashMap<OpClass, u64>,
+    total: u64,
+    taken: u64,
+    branches: u64,
+    dep_distance: Histogram,
+    distinct_branch_pcs: usize,
+}
+
+impl TraceStats {
+    /// Measures a stream of instructions.
+    #[must_use]
+    pub fn measure<I: IntoIterator<Item = Instruction>>(stream: I) -> Self {
+        let mut counts = HashMap::new();
+        let mut total = 0u64;
+        let mut taken = 0u64;
+        let mut branches = 0u64;
+        let mut dep = Histogram::new(64);
+        let mut writers: Vec<(fo4depth_isa::ArchReg, u64)> = Vec::new();
+        let mut branch_pcs = std::collections::HashSet::new();
+
+        for (idx, inst) in stream.into_iter().enumerate() {
+            let idx = idx as u64;
+            total += 1;
+            *counts.entry(inst.op_class()).or_insert(0) += 1;
+            if inst.op_class() == OpClass::Branch {
+                branches += 1;
+                if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                    taken += 1;
+                }
+                branch_pcs.insert(inst.pc);
+            }
+            for src in inst.sources().into_iter().flatten() {
+                if let Some(&(_, widx)) = writers.iter().rev().find(|(r, _)| *r == src) {
+                    dep.record(idx - widx);
+                }
+            }
+            if let Some(d) = inst.dest {
+                writers.push((d, idx));
+                if writers.len() > 128 {
+                    writers.remove(0);
+                }
+            }
+        }
+        Self {
+            counts,
+            total,
+            taken,
+            branches,
+            dep_distance: dep,
+            distinct_branch_pcs: branch_pcs.len(),
+        }
+    }
+
+    /// Total instructions measured.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of the stream in the given class.
+    #[must_use]
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&class).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Fraction of conditional branches that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        self.taken as f64 / self.branches as f64
+    }
+
+    /// Mean realized producer→consumer distance (in instructions), counting
+    /// only sources that resolved to a tracked recent producer.
+    #[must_use]
+    pub fn mean_dep_distance(&self) -> f64 {
+        self.dep_distance.mean_floor()
+    }
+
+    /// Number of distinct static branch sites observed.
+    #[must_use]
+    pub fn distinct_branch_sites(&self) -> usize {
+        self.distinct_branch_pcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::profiles;
+
+    fn stats_for(name: &str, n: usize) -> TraceStats {
+        let p = profiles::by_name(name).unwrap();
+        TraceStats::measure(TraceGenerator::new(p, 11).take(n))
+    }
+
+    #[test]
+    fn mix_fractions_near_profile() {
+        let s = stats_for("164.gzip", 40_000);
+        // gzip mix: 26% loads, 16% branches (normalized weights sum to 1.0).
+        assert!((s.fraction(OpClass::Load) - 0.26).abs() < 0.02);
+        assert!((s.fraction(OpClass::Branch) - 0.16).abs() < 0.02);
+        assert!((s.fraction(OpClass::Store) - 0.11).abs() < 0.02);
+    }
+
+    #[test]
+    fn vector_code_is_branch_light() {
+        let s = stats_for("171.swim", 40_000);
+        assert!(s.fraction(OpClass::Branch) < 0.04);
+        assert!(s.fraction(OpClass::FpAdd) > 0.15);
+    }
+
+    #[test]
+    fn integer_dependencies_shorter_than_vector() {
+        let int = stats_for("164.gzip", 20_000).mean_dep_distance();
+        let vec = stats_for("171.swim", 20_000).mean_dep_distance();
+        assert!(
+            int < vec,
+            "integer distance {int} should be < vector {vec}"
+        );
+    }
+
+    #[test]
+    fn branch_sites_bounded_by_profile() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let s = stats_for("164.gzip", 30_000);
+        assert!(s.distinct_branch_sites() <= p.branches.static_sites);
+        assert!(s.distinct_branch_sites() > 32);
+    }
+
+    #[test]
+    fn taken_rate_is_plausible() {
+        // Loop-dominated codes are mostly taken; integer codes mixed.
+        let int = stats_for("176.gcc", 30_000).taken_rate();
+        assert!((0.3..0.9).contains(&int), "gcc taken rate {int}");
+        let vec = stats_for("171.swim", 30_000).taken_rate();
+        assert!(vec > 0.5, "swim taken rate {vec}");
+    }
+
+    #[test]
+    fn empty_stream_is_all_zeroes() {
+        let s = TraceStats::measure(std::iter::empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.fraction(OpClass::Load), 0.0);
+        assert_eq!(s.taken_rate(), 0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Trace recording and replay.
+//!
+//! The simulators are trace-driven; nothing restricts them to the synthetic
+//! generators. This module defines a simple line-oriented text format so
+//! traces can be captured, inspected, diffed, and replayed — and so users
+//! with *real* program traces (from a functional simulator or a binary
+//! instrumentation tool) can drive the timing models with them.
+//!
+//! # Format
+//!
+//! One instruction per line, pipe-separated fields:
+//!
+//! ```text
+//! pc|opcode|dest|src1|src2|mem_addr|taken|target
+//! ```
+//!
+//! Register fields use the ISA's display names (`r5`, `f12`) or `-` for
+//! absent; `mem_addr`/`target` are hex; `taken` is `t`, `n`, or `-`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_workload::{profiles, TraceGenerator};
+//! use fo4depth_workload::traceio::{parse_line, render_line};
+//!
+//! let p = profiles::by_name("164.gzip").unwrap();
+//! for inst in TraceGenerator::new(p, 1).take(50) {
+//!     let line = render_line(&inst);
+//!     let back = parse_line(&line).unwrap();
+//!     assert_eq!(inst, back);
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use fo4depth_isa::{ArchReg, BranchInfo, Instruction, Opcode};
+
+/// Error from parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number, when parsing a stream.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn render_reg(r: Option<ArchReg>) -> String {
+    match r {
+        Some(r) => r.to_string(),
+        None => "-".into(),
+    }
+}
+
+fn parse_reg(s: &str) -> Result<Option<ArchReg>, String> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let (bank, idx) = s.split_at(1);
+    let idx: u8 = idx.parse().map_err(|_| format!("bad register {s}"))?;
+    if idx >= 32 {
+        return Err(format!("register index out of range in {s}"));
+    }
+    match bank {
+        "r" => Ok(Some(ArchReg::int(idx))),
+        "f" => Ok(Some(ArchReg::fp(idx))),
+        _ => Err(format!("bad register bank in {s}")),
+    }
+}
+
+fn parse_opcode(s: &str) -> Result<Opcode, String> {
+    use Opcode::*;
+    Ok(match s {
+        "addq" => Addq,
+        "subq" => Subq,
+        "and" => And,
+        "bis" => Bis,
+        "xor" => Xor,
+        "sll" => Sll,
+        "srl" => Srl,
+        "cmpeq" => Cmpeq,
+        "cmplt" => Cmplt,
+        "lda" => Lda,
+        "mulq" => Mulq,
+        "addt" => Addt,
+        "subt" => Subt,
+        "cvttq" => Cvttq,
+        "mult" => Mult,
+        "divt" => Divt,
+        "sqrtt" => Sqrtt,
+        "ldq" => Ldq,
+        "ldl" => Ldl,
+        "ldt" => Ldt,
+        "stq" => Stq,
+        "stl" => Stl,
+        "stt" => Stt,
+        "beq" => Beq,
+        "bne" => Bne,
+        "blt" => Blt,
+        "bge" => Bge,
+        "br" => Br,
+        "jsr" => Jsr,
+        "ret" => Ret,
+        "nop" => Nop,
+        other => return Err(format!("unknown opcode {other}")),
+    })
+}
+
+/// Renders one instruction as a trace line (no trailing newline).
+#[must_use]
+pub fn render_line(inst: &Instruction) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:x}|{}|{}|{}|{}|",
+        inst.pc,
+        inst.opcode,
+        render_reg(inst.dest),
+        render_reg(inst.src1),
+        render_reg(inst.src2),
+    );
+    match inst.mem_addr {
+        Some(a) => {
+            let _ = write!(out, "{a:x}");
+        }
+        None => out.push('-'),
+    }
+    match inst.branch {
+        Some(b) => {
+            let _ = write!(out, "|{}|{:x}", if b.taken { 't' } else { 'n' }, b.target);
+        }
+        None => out.push_str("|-|-"),
+    }
+    out
+}
+
+/// Parses one trace line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field (line number 0; the
+/// stream reader fills in real numbers).
+pub fn parse_line(line: &str) -> Result<Instruction, ParseTraceError> {
+    let err = |message: String| ParseTraceError { line: 0, message };
+    let fields: Vec<&str> = line.trim_end().split('|').collect();
+    if fields.len() != 8 {
+        return Err(err(format!("expected 8 fields, got {}", fields.len())));
+    }
+    let pc = u64::from_str_radix(fields[0], 16).map_err(|_| err("bad pc".into()))?;
+    let opcode = parse_opcode(fields[1]).map_err(err)?;
+    let dest = parse_reg(fields[2]).map_err(err)?;
+    let src1 = parse_reg(fields[3]).map_err(err)?;
+    let src2 = parse_reg(fields[4]).map_err(err)?;
+    let mem_addr = if fields[5] == "-" {
+        None
+    } else {
+        Some(u64::from_str_radix(fields[5], 16).map_err(|_| err("bad mem addr".into()))?)
+    };
+    let branch = match fields[6] {
+        "-" => None,
+        t @ ("t" | "n") => Some(BranchInfo {
+            taken: t == "t",
+            target: u64::from_str_radix(fields[7], 16)
+                .map_err(|_| err("bad branch target".into()))?,
+        }),
+        other => return Err(err(format!("bad taken flag {other}"))),
+    };
+    Ok(Instruction {
+        opcode,
+        dest,
+        src1,
+        src2,
+        mem_addr,
+        branch,
+        pc,
+    })
+}
+
+/// Writes `count` instructions of a stream to `writer` in trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn record<I, W>(stream: I, count: usize, mut writer: W) -> std::io::Result<()>
+where
+    I: IntoIterator<Item = Instruction>,
+    W: Write,
+{
+    for inst in stream.into_iter().take(count) {
+        writeln!(writer, "{}", render_line(&inst))?;
+    }
+    Ok(())
+}
+
+/// An iterator replaying instructions from a trace reader.
+///
+/// Errors surface as panics with line numbers (trace files are build
+/// artefacts; a malformed one is a bug, not user input).
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    lines: std::io::Lines<R>,
+    line_no: usize,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader.
+    #[must_use]
+    pub fn new(reader: R) -> Self {
+        Self {
+            lines: reader.lines(),
+            line_no: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => panic!("trace read error at line {}: {e}", self.line_no + 1),
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match parse_line(trimmed) {
+                Ok(inst) => return Some(inst),
+                Err(mut e) => {
+                    e.line = self.line_no;
+                    panic!("{e}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::profiles;
+
+    #[test]
+    fn round_trip_all_instruction_kinds() {
+        // A long window of every benchmark exercises every opcode shape.
+        for name in ["176.gcc", "171.swim", "188.ammp"] {
+            let p = profiles::by_name(name).unwrap();
+            for inst in TraceGenerator::new(p, 5).take(2_000) {
+                let line = render_line(&inst);
+                let back = parse_line(&line).unwrap_or_else(|e| panic!("{name}: {e}: {line}"));
+                assert_eq!(inst, back, "{name}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_then_replay_matches() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let original: Vec<_> = TraceGenerator::new(p.clone(), 3).take(500).collect();
+        let mut buf = Vec::new();
+        record(original.iter().copied(), 500, &mut buf).unwrap();
+        let replayed: Vec<_> = TraceReader::new(std::io::Cursor::new(buf)).collect();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n120000|nop|-|-|-|-|-|-\n";
+        let insts: Vec<_> = TraceReader::new(std::io::Cursor::new(text)).collect();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].opcode, fo4depth_isa::Opcode::Nop);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_line("garbage").is_err());
+        assert!(parse_line("120000|frob|-|-|-|-|-|-").is_err());
+        assert!(parse_line("120000|nop|-|-|-|-|x|-").is_err());
+        assert!(parse_line("120000|nop|r99|-|-|-|-|-").is_err());
+        let e = parse_line("zz|nop|-|-|-|-|-|-").unwrap_err();
+        assert!(e.to_string().contains("bad pc"));
+    }
+
+    #[test]
+    fn replayed_trace_drives_the_simulator_identically() {
+        use fo4depth_isa::Instruction;
+        let p = profiles::by_name("300.twolf").unwrap();
+        let original: Vec<Instruction> = TraceGenerator::new(p, 7).take(20_000).collect();
+        let mut buf = Vec::new();
+        record(original.iter().copied(), 20_000, &mut buf).unwrap();
+        let replay: Vec<Instruction> =
+            TraceReader::new(std::io::Cursor::new(buf)).collect();
+        assert_eq!(original, replay);
+    }
+}

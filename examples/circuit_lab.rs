@@ -1,0 +1,92 @@
+//! The transistor-level measurements behind the study (Table 1 and
+//! Appendix A), reproduced with the built-in transient circuit simulator.
+//!
+//! ```text
+//! cargo run --release --example circuit_lab
+//! ```
+
+use fo4depth::circuit::{ecl, fo4meas, latch, DeviceParams};
+use fo4depth::fo4::TechNode;
+
+fn main() {
+    let params = DeviceParams::at_100nm();
+
+    // --- the FO4 delay itself -----------------------------------------
+    let fo4 = fo4meas::measure_fo4(&params);
+    println!("FO4 inverter delay at 100 nm:");
+    println!(
+        "  rise {:.1} ps, fall {:.1} ps, mean {:.1} ps (rule of thumb: {:.0} ps)\n",
+        fo4.rise_ps,
+        fo4.fall_ps,
+        fo4.picoseconds(),
+        TechNode::NM_100.fo4_picoseconds()
+    );
+
+    // --- Table 1: pulse-latch overhead ---------------------------------
+    println!("Pulse-latch D->Q sweep (Figure 3 test circuit):");
+    let m = latch::measure_latch_overhead(&params);
+    println!("  setup(ps)  D->Q(ps)");
+    for p in m.points.iter().step_by(5) {
+        match p.dq_ps {
+            Some(dq) => println!("  {:>8.1}  {:>8.1}", p.setup_ps, dq),
+            None => println!("  {:>8.1}   capture FAILED", p.setup_ps),
+        }
+    }
+    println!(
+        "  latch overhead = {:.1} ps = {:.2} FO4 (paper Table 1: 1.0 FO4)\n",
+        m.overhead_ps,
+        m.overhead_ps / fo4.picoseconds()
+    );
+
+    // --- pulse latch vs master-slave flip-flop (§2 design choice) ------
+    let ff = fo4depth::circuit::flipflop::measure_flipflop(&params);
+    println!("Master-slave flip-flop (for comparison):");
+    println!(
+        "  min D->Q = {:.1} ps = {:.2} FO4 vs pulse latch {:.2} FO4 — the §2 rationale",
+        ff.overhead_ps,
+        ff.overhead_ps / fo4.picoseconds(),
+        m.overhead_ps / fo4.picoseconds()
+    );
+    println!(
+        "  energy per captured cycle: {:.1} fJ (incl. clock buffers)\n",
+        ff.energy_per_cycle_fj
+    );
+
+    // --- Appendix A: the CRAY-1S ECL gate ------------------------------
+    let e = ecl::measure_ecl_gate(&params);
+    println!("Appendix A (NAND4 driving NAND5, Figure 13):");
+    println!(
+        "  gate pair = {:.1} ps = {:.2} FO4 (paper: 1.36 FO4)",
+        e.gate_pair_ps,
+        e.gate_in_fo4()
+    );
+    println!(
+        "  Kunkel-Smith scalar optimum (8 gates): {:.1} FO4 (paper: 10.9)",
+        e.cray_scalar_stage_fo4()
+    );
+    println!(
+        "  Kunkel-Smith vector optimum (4 gates): {:.1} FO4 (paper: 5.4)",
+        e.cray_vector_stage_fo4()
+    );
+
+    // --- ring oscillator: internal consistency check --------------------
+    let ring = fo4depth::circuit::ringosc::measure_ring(&params, 9);
+    println!("9-stage ring oscillator:");
+    println!(
+        "  period {:.1} ps -> FO1 stage delay {:.2} ps = {:.2} of an FO4\n",
+        ring.period_ps,
+        ring.stage_delay_ps,
+        ring.stage_delay_ps / fo4.picoseconds()
+    );
+
+    // --- technology independence ---------------------------------------
+    println!("\nFO4 scaling across drawn gate lengths:");
+    for nm in [180.0, 130.0, 100.0, 70.0] {
+        let scaled = params.scaled_to(nm / 1000.0);
+        let f = fo4meas::measure_fo4(&scaled).picoseconds();
+        println!(
+            "  {nm:>4.0} nm: {f:>6.1} ps  (rule: {:>5.1} ps)",
+            TechNode::from_nm(nm).fo4_picoseconds()
+        );
+    }
+}

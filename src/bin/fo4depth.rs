@@ -1,0 +1,306 @@
+//! The fo4depth command-line tool: run the study's pieces individually.
+//!
+//! ```text
+//! fo4depth table3                               # print Table 3
+//! fo4depth sweep --core ooo --measure 40000     # depth sweep (text + CSV)
+//! fo4depth bench 181.mcf --t-useful 6           # one benchmark, one clock
+//! fo4depth record 164.gzip 1000 trace.txt       # capture a trace
+//! fo4depth replay trace.txt --t-useful 6        # drive the core with it
+//! fo4depth validate                             # workload calibration table
+//! fo4depth floorplan                            # areas and wire distances
+//! fo4depth experiments                          # the paper's experiment registry
+//! ```
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use fo4depth::fo4::Fo4;
+use fo4depth::study::experiments::registry;
+use fo4depth::study::floorplan::Floorplan;
+use fo4depth::study::latency::{table3, StructureSet};
+use fo4depth::study::render;
+use fo4depth::study::scaler::ScaledMachine;
+use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
+use fo4depth::study::sweep::{depth_sweep_with, standard_points, CoreKind};
+use fo4depth::study::validation::{self, Bands};
+use fo4depth::workload::{profiles, TraceGenerator, TraceReader};
+use fo4depth_fo4::TechNode;
+use fo4depth_pipeline::OutOfOrderCore;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fo4depth <command> [options]\n\
+         commands:\n\
+           table3                          print the structure/operation latency table\n\
+           sweep [--core ooo|inorder] [--overhead F] [--warmup N] [--measure N]\n\
+                 [--bench NAME[,NAME...]] [--csv]\n\
+           bench NAME [--t-useful F] [--warmup N] [--measure N]\n\
+           record NAME COUNT [FILE]        capture a synthetic trace (default stdout)\n\
+           replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
+           validate                        workload calibration at the Alpha point\n\
+           floorplan                       structure areas and wire distances\n\
+           experiments                     list the paper's experiments"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, returning the parsed value.
+fn take_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("bad value for {flag}: {raw}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn params_from(args: &mut Vec<String>) -> SimParams {
+    let mut p = SimParams {
+        warmup: 10_000,
+        measure: 40_000,
+        seed: 1,
+    };
+    if let Some(w) = take_opt(args, "--warmup") {
+        p.warmup = w;
+    }
+    if let Some(m) = take_opt(args, "--measure") {
+        p.measure = m;
+    }
+    if let Some(s) = take_opt(args, "--seed") {
+        p.seed = s;
+    }
+    p
+}
+
+fn cmd_sweep(mut args: Vec<String>) -> ExitCode {
+    let core = match take_opt::<String>(&mut args, "--core").as_deref() {
+        None | Some("ooo") => CoreKind::OutOfOrder,
+        Some("inorder") => CoreKind::InOrder,
+        Some(other) => {
+            eprintln!("unknown core {other}");
+            return ExitCode::from(2);
+        }
+    };
+    let overhead = take_opt(&mut args, "--overhead").unwrap_or(1.8);
+    let csv = take_flag(&mut args, "--csv");
+    let params = params_from(&mut args);
+    let profs = match take_opt::<String>(&mut args, "--bench") {
+        Some(names) => {
+            let mut out = Vec::new();
+            for n in names.split(',') {
+                match profiles::by_name(n) {
+                    Some(p) => out.push(p),
+                    None => {
+                        eprintln!("unknown benchmark {n}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            out
+        }
+        None => profiles::all(),
+    };
+    let sweep = depth_sweep_with(
+        core,
+        &profs,
+        &params,
+        &StructureSet::alpha_21264(),
+        Fo4::new(overhead),
+        &standard_points(),
+    );
+    if csv {
+        print!("{}", render::sweep_csv(&sweep));
+    } else {
+        print!("{}", render::sweep_table(&sweep));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(mut args: Vec<String>) -> ExitCode {
+    let t = take_opt(&mut args, "--t-useful").unwrap_or(6.0);
+    let params = params_from(&mut args);
+    let Some(name) = args.first() else {
+        eprintln!("bench needs a benchmark name");
+        return ExitCode::from(2);
+    };
+    let Some(profile) = profiles::by_name(name) else {
+        eprintln!("unknown benchmark {name}; try `fo4depth validate` for the list");
+        return ExitCode::from(2);
+    };
+    let machine = ScaledMachine::at(&StructureSet::alpha_21264(), Fo4::new(t), Fo4::new(1.8));
+    let ooo = run_ooo(&machine.config, &profile, &params);
+    let ino = run_inorder(&machine.config, &profile, &params);
+    println!(
+        "{name} at t_useful {t} FO4 ({:.2} GHz at 100 nm):",
+        1000.0 / machine.period_ps()
+    );
+    println!(
+        "  out-of-order: IPC {:.3}  BIPS {:.3}  mispredict {:.3}  L1 miss {:.3}",
+        ooo.result.ipc(),
+        ooo.result.bips(machine.period_ps()),
+        ooo.result.mispredict_rate(),
+        ooo.result.l1.miss_rate()
+    );
+    println!(
+        "  in-order:     IPC {:.3}  BIPS {:.3}",
+        ino.result.ipc(),
+        ino.result.bips(machine.period_ps())
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_record(args: Vec<String>) -> ExitCode {
+    let (Some(name), Some(count)) = (args.first(), args.get(1)) else {
+        eprintln!("record needs NAME and COUNT");
+        return ExitCode::from(2);
+    };
+    let Some(profile) = profiles::by_name(name) else {
+        eprintln!("unknown benchmark {name}");
+        return ExitCode::from(2);
+    };
+    let Ok(count) = count.parse::<usize>() else {
+        eprintln!("bad count {count}");
+        return ExitCode::from(2);
+    };
+    let stream = TraceGenerator::new(profile, 1);
+    let result = match args.get(2) {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            fo4depth::workload::record(stream, count, std::io::BufWriter::new(file))
+        }
+        None => fo4depth::workload::record(stream, count, std::io::stdout().lock()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(mut args: Vec<String>) -> ExitCode {
+    let t = take_opt(&mut args, "--t-useful").unwrap_or(6.0);
+    let mut params = params_from(&mut args);
+    let Some(path) = args.first() else {
+        eprintln!("replay needs a trace FILE");
+        return ExitCode::from(2);
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A finite file cannot satisfy an open-ended run; bound the interval by
+    // a cheap line count first.
+    let lines = match std::fs::read_to_string(path) {
+        Ok(s) => s.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#')).count() as u64,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if lines < 100 {
+        eprintln!("trace too short ({lines} instructions)");
+        return ExitCode::FAILURE;
+    }
+    params.warmup = params.warmup.min(lines / 4);
+    params.measure = params.measure.min(lines - params.warmup - lines / 10);
+
+    let machine = ScaledMachine::at(&StructureSet::alpha_21264(), Fo4::new(t), Fo4::new(1.8));
+    let trace = TraceReader::new(BufReader::new(file));
+    let mut core = OutOfOrderCore::new(machine.config.clone(), trace);
+    core.run(params.warmup);
+    let r = core.run(params.measure);
+    println!(
+        "{path}: {} instructions measured at t_useful {t} FO4: IPC {:.3}  BIPS {:.3}",
+        r.instructions,
+        r.ipc(),
+        r.bips(machine.period_ps())
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_floorplan() -> ExitCode {
+    let plan = Floorplan::of(
+        &fo4depth::study::capacity::CapacityChoice::base(),
+        TechNode::NM_100,
+    );
+    println!("Alpha-class floorplan at 100 nm (fo4depth-cacti area model):");
+    println!("  DL1        {:>7.2} mm2", plan.dcache_mm2);
+    println!("  I-cache    {:>7.2} mm2", plan.icache_mm2);
+    println!("  L2 (2 MB)  {:>7.2} mm2", plan.l2_mm2);
+    println!("  window     {:>7.2} mm2", plan.window_mm2);
+    println!("  regfiles   {:>7.2} mm2", plan.regfiles_mm2);
+    println!("  predictor  {:>7.2} mm2", plan.predictor_mm2);
+    println!("  core total {:>7.2} mm2  (span {:.2} mm)", plan.core_mm2, plan.core_span_mm());
+    println!("  die total  {:>7.2} mm2  (span {:.2} mm)", plan.total_mm2, plan.die_span_mm());
+    let model = fo4depth_fo4::WireModel::default();
+    println!(
+        "  front-end transport: {:.2} mm = {:.1} FO4 of repeated wire",
+        plan.front_end_distance_mm(),
+        plan.front_end_wire_fo4(&model).get()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "table3" => {
+            print!("{}", render::table3(&table3(&StructureSet::alpha_21264())));
+            ExitCode::SUCCESS
+        }
+        "sweep" => cmd_sweep(args),
+        "bench" => cmd_bench(args),
+        "record" => cmd_record(args),
+        "replay" => cmd_replay(args),
+        "validate" => {
+            let params = SimParams {
+                warmup: 30_000,
+                measure: 60_000,
+                seed: 1,
+            };
+            let rows = validation::validate_all(&params, &Bands::default());
+            print!("{}", validation::render(&rows));
+            ExitCode::SUCCESS
+        }
+        "floorplan" => cmd_floorplan(),
+        "experiments" => {
+            for e in registry() {
+                println!("{:16} {}\n{:16} paper: {}\n{:16} run:   {}\n", e.id, e.title, "", e.paper, "", e.target);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

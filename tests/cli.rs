@@ -1,0 +1,142 @@
+//! End-to-end tests of the `fo4depth` command-line tool.
+
+use std::process::Command;
+
+fn fo4depth() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fo4depth"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = fo4depth()
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (_, err, ok) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, err, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn table3_prints_all_rows() {
+    let (out, _, ok) = run(&["table3"]);
+    assert!(ok);
+    for row in ["DL1", "Issue window", "FP sqrt", "Alpha"] {
+        assert!(out.contains(row), "missing {row} in:\n{out}");
+    }
+}
+
+#[test]
+fn experiments_lists_the_registry() {
+    let (out, _, ok) = run(&["experiments"]);
+    assert!(ok);
+    assert!(out.contains("Figure 5"));
+    assert!(out.contains("Appendix A"));
+}
+
+#[test]
+fn bench_runs_one_benchmark() {
+    let (out, _, ok) = run(&[
+        "bench",
+        "164.gzip",
+        "--t-useful",
+        "6",
+        "--warmup",
+        "1000",
+        "--measure",
+        "4000",
+    ]);
+    assert!(ok, "bench failed: {out}");
+    assert!(out.contains("out-of-order"));
+    assert!(out.contains("IPC"));
+}
+
+#[test]
+fn bench_rejects_unknown_benchmark() {
+    let (_, err, ok) = run(&["bench", "999.nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown benchmark"));
+}
+
+#[test]
+fn floorplan_reports_areas() {
+    let (out, _, ok) = run(&["floorplan"]);
+    assert!(ok);
+    assert!(out.contains("mm2"));
+    assert!(out.contains("front-end transport"));
+}
+
+#[test]
+fn record_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join(format!("fo4depth-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("t.trace");
+    let trace_str = trace.to_str().expect("utf-8 path");
+
+    let (_, err, ok) = run(&["record", "300.twolf", "20000", trace_str]);
+    assert!(ok, "record failed: {err}");
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert_eq!(text.lines().count(), 20000);
+
+    let (out, err, ok) = run(&["replay", trace_str, "--t-useful", "6"]);
+    assert!(ok, "replay failed: {err}");
+    assert!(out.contains("IPC"), "no IPC in: {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_rejects_missing_and_short_files() {
+    let (_, err, ok) = run(&["replay", "/nonexistent/x.trace"]);
+    assert!(!ok);
+    assert!(err.contains("cannot open"));
+
+    let dir = std::env::temp_dir().join(format!("fo4depth-cli-short-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let short = dir.join("short.trace");
+    std::fs::write(&short, "120000|nop|-|-|-|-|-|-\n").expect("write");
+    let (_, err, ok) = run(&["replay", short.to_str().expect("utf-8")]);
+    assert!(!ok);
+    assert!(err.contains("too short"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_csv_emits_parseable_output() {
+    let (out, _, ok) = run(&[
+        "sweep",
+        "--bench",
+        "164.gzip",
+        "--csv",
+        "--warmup",
+        "500",
+        "--measure",
+        "2000",
+    ]);
+    assert!(ok);
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines[0].starts_with("t_useful,period_ps"));
+    assert_eq!(lines.len(), 16, "header + 15 clock points");
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), lines[0].split(',').count());
+        for f in fields {
+            f.parse::<f64>().expect("numeric CSV field");
+        }
+    }
+}

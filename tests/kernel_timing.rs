@@ -1,0 +1,118 @@
+//! Analytic timing verification: the simulator's steady-state IPC on the
+//! closed-form kernels must match the timing rules it claims to implement.
+
+use fo4depth::pipeline::{CoreConfig, InOrderCore, OutOfOrderCore};
+use fo4depth::workload::kernels;
+
+fn ooo_ipc<I: Iterator<Item = fo4depth::isa::Instruction>>(cfg: &CoreConfig, trace: I) -> f64 {
+    let mut core = OutOfOrderCore::new(cfg.clone(), trace);
+    core.run(2_000);
+    core.run(10_000).ipc()
+}
+
+#[test]
+fn dependent_chain_runs_at_unit_ipc() {
+    // Int-ALU latency 1 at the Alpha point, back-to-back wakeup: IPC → 1.
+    let ipc = ooo_ipc(&CoreConfig::alpha_like(), kernels::dependent_chain());
+    assert!((0.93..=1.001).contains(&ipc), "chain IPC {ipc}");
+}
+
+#[test]
+fn dependent_chain_scales_with_alu_latency() {
+    // Doubling the ALU latency must halve chain IPC.
+    let mut cfg = CoreConfig::alpha_like();
+    cfg.exec.int_alu = 2;
+    let ipc = ooo_ipc(&cfg, kernels::dependent_chain());
+    assert!((0.45..=0.52).contains(&ipc), "2-cycle chain IPC {ipc}");
+}
+
+#[test]
+fn independent_alu_saturates_integer_width() {
+    // 4 integer units: IPC → 4.
+    let ipc = ooo_ipc(&CoreConfig::alpha_like(), kernels::independent_alu());
+    assert!((3.5..=4.001).contains(&ipc), "independent IPC {ipc}");
+}
+
+#[test]
+fn pointer_chase_runs_at_load_use_reciprocal() {
+    // L1 hit latency 3 at the Alpha point: serial loads → IPC 1/3.
+    let ipc = ooo_ipc(&CoreConfig::alpha_like(), kernels::pointer_chase());
+    let expected = 1.0 / 3.0;
+    assert!(
+        (ipc - expected).abs() < 0.04,
+        "pointer-chase IPC {ipc}, expected ≈ {expected}"
+    );
+
+    // And it tracks the DL1 latency exactly.
+    let mut cfg = CoreConfig::alpha_like();
+    cfg.hierarchy.l1_latency = 6;
+    let ipc6 = ooo_ipc(&cfg, kernels::pointer_chase());
+    assert!(
+        (ipc6 - 1.0 / 6.0).abs() < 0.02,
+        "6-cycle pointer-chase IPC {ipc6}"
+    );
+}
+
+#[test]
+fn fp_chain_runs_at_fp_add_reciprocal() {
+    // FP add latency 4: IPC → 1/4.
+    let ipc = ooo_ipc(&CoreConfig::alpha_like(), kernels::fp_chain());
+    assert!((ipc - 0.25).abs() < 0.03, "fp-chain IPC {ipc}");
+}
+
+#[test]
+fn interleaved_chains_scale_linearly_until_width() {
+    let one = ooo_ipc(&CoreConfig::alpha_like(), kernels::interleaved_chains(1));
+    let two = ooo_ipc(&CoreConfig::alpha_like(), kernels::interleaved_chains(2));
+    let four = ooo_ipc(&CoreConfig::alpha_like(), kernels::interleaved_chains(4));
+    let eight = ooo_ipc(&CoreConfig::alpha_like(), kernels::interleaved_chains(8));
+    assert!((two / one - 2.0).abs() < 0.15, "2 chains: {one} → {two}");
+    assert!((four / one - 4.0).abs() < 0.3, "4 chains: {one} → {four}");
+    // Beyond the 4-wide integer port budget, no further scaling.
+    assert!(eight < four * 1.15, "8 chains {eight} vs 4 chains {four}");
+}
+
+#[test]
+fn wakeup_loop_gates_the_chain_not_the_long_ops() {
+    // max(exec, wakeup): a 3-cycle wakeup loop slows a 1-cycle ALU chain to
+    // one instruction per 3 cycles, but leaves the 4-cycle FP chain alone.
+    let mut cfg = CoreConfig::alpha_like();
+    cfg.window = fo4depth::pipeline::WindowConfig::Conventional {
+        capacity: 32,
+        wakeup: 3,
+    };
+    let alu = ooo_ipc(&cfg, kernels::dependent_chain());
+    assert!((alu - 1.0 / 3.0).abs() < 0.03, "ALU chain at wakeup 3: {alu}");
+    let fp = ooo_ipc(&cfg, kernels::fp_chain());
+    assert!((fp - 0.25).abs() < 0.03, "FP chain at wakeup 3: {fp}");
+}
+
+#[test]
+fn tight_loop_pays_the_taken_bubble() {
+    // A 7-instruction loop body + branch with taken_bubble = 1: each
+    // iteration needs ≥ 2 fetch cycles for 8 instructions (4-wide) plus the
+    // re-steer bubble → IPC ≈ 8/3.
+    let ipc = ooo_ipc(&CoreConfig::alpha_like(), kernels::tight_loop(7));
+    assert!((2.2..=2.9).contains(&ipc), "tight-loop IPC {ipc}");
+
+    // Removing the bubble lifts throughput toward 8/2 = 4.
+    let mut cfg = CoreConfig::alpha_like();
+    cfg.taken_bubble = 0;
+    let no_bubble = ooo_ipc(&cfg, kernels::tight_loop(7));
+    assert!(no_bubble > ipc * 1.15, "{no_bubble} vs {ipc}");
+}
+
+#[test]
+fn inorder_matches_ooo_on_serial_chains() {
+    // A single dependence chain has no scheduling freedom: both cores run
+    // it at the same rate.
+    let cfg = CoreConfig::alpha_like();
+    let mut ino = InOrderCore::new(cfg.clone(), kernels::dependent_chain());
+    ino.run(1_000);
+    let in_ipc = ino.run(6_000).ipc();
+    let oo_ipc = ooo_ipc(&cfg, kernels::dependent_chain());
+    assert!(
+        (in_ipc - oo_ipc).abs() < 0.08,
+        "in-order {in_ipc} vs OoO {oo_ipc}"
+    );
+}

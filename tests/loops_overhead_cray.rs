@@ -1,0 +1,134 @@
+//! Figures 6 and 8, the §4.2 CRAY-1S comparison, and the Table 1 / Appendix
+//! A circuit results, end-to-end.
+
+use fo4depth::circuit::{ecl, fo4meas, latch, DeviceParams};
+use fo4depth::study::cray::{cray_memory_sweep_with, kunkel_smith_equivalence};
+use fo4depth::study::loops::{critical_loops_with, CriticalLoop};
+use fo4depth::study::overhead::overhead_sensitivity_with;
+use fo4depth::study::sim::SimParams;
+use fo4depth::workload::{profiles, BenchClass};
+use fo4depth_fo4::Fo4;
+
+fn params() -> SimParams {
+    SimParams {
+        warmup: 8_000,
+        measure: 30_000,
+        seed: 1,
+    }
+}
+
+#[test]
+fn figure8_critical_loop_ordering() {
+    // Issue–wakeup is the most IPC-sensitive loop, branch misprediction the
+    // least (Figure 8), measured on integer benchmarks at the Alpha config.
+    let profs = profiles::integer();
+    let curves = critical_loops_with(&profs, &params(), &[0, 4, 8, 12]);
+    let rel = |w: CriticalLoop| {
+        curves
+            .iter()
+            .find(|c| c.which == w)
+            .expect("curve")
+            .final_relative_ipc()
+    };
+    let wakeup = rel(CriticalLoop::IssueWakeup);
+    let load_use = rel(CriticalLoop::LoadUse);
+    let branch = rel(CriticalLoop::BranchMispredict);
+
+    assert!(wakeup < load_use, "wakeup {wakeup} vs load-use {load_use}");
+    assert!(load_use < branch, "load-use {load_use} vs branch {branch}");
+    // All three hurt; none catastrophically reverses.
+    for (name, v) in [("wakeup", wakeup), ("load-use", load_use), ("branch", branch)] {
+        assert!((0.15..1.0).contains(&v), "{name} relative IPC {v}");
+    }
+}
+
+#[test]
+fn figure6_optimum_insensitive_to_overhead() {
+    // Figure 6: the paper finds the integer optimum pinned at 6 FO4 for
+    // overheads 1–5. Our reproduction pins it at 6 for overheads 2–5,
+    // drifting one sweep step at overhead 1 (see EXPERIMENTS.md) — a tiny
+    // movement relative to the 2–16 FO4 design space.
+    let profs = profiles::integer();
+    let points: Vec<Fo4> = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 12.0]
+        .into_iter()
+        .map(Fo4::new)
+        .collect();
+    let curves = overhead_sensitivity_with(
+        &profs,
+        &params(),
+        &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        &points,
+    );
+    let opt_at = |ovh: f64| {
+        curves
+            .iter()
+            .find(|c| c.overhead == ovh)
+            .expect("curve")
+            .optimum_useful()
+    };
+    // Zero overhead rewards depth without bound (consistent with Fig 4a).
+    assert!(opt_at(0.0) <= 3.0, "zero-overhead optimum {}", opt_at(0.0));
+    // Overheads 2–5 pin the optimum at 6 exactly.
+    for ovh in [2.0, 3.0, 4.0, 5.0] {
+        assert_eq!(opt_at(ovh), 6.0, "optimum at overhead {ovh}");
+    }
+    // The low extreme drifts by at most ~one step of the design space.
+    let opt = opt_at(1.0);
+    assert!(
+        (3.0..=9.0).contains(&opt),
+        "optimum {opt} at overhead 1 far out of band"
+    );
+    // More overhead ⇒ strictly less BIPS at every shared point.
+    let s1 = curves[1].sweep.series(Some(BenchClass::Integer));
+    let s5 = curves[5].sweep.series(Some(BenchClass::Integer));
+    for (a, b) in s1.iter().zip(&s5) {
+        assert!(a.1 > b.1, "overhead must cost: {a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn section4_2_cray_memory_moves_optimum_shallower() {
+    // With CRAY-1S-style flat memory the integer optimum moves from 6 FO4
+    // to ≈ 11 FO4 (paper). Accept 8–14.
+    let profs = profiles::integer();
+    let points: Vec<Fo4> = (2..=16).map(|t| Fo4::new(f64::from(t))).collect();
+    let sweep = cray_memory_sweep_with(&profs, &params(), &points);
+    let (opt, _) = sweep.class_optimum(BenchClass::Integer);
+    assert!(
+        (8.0..=14.0).contains(&opt),
+        "CRAY-memory integer optimum {opt} (paper ~11)"
+    );
+}
+
+#[test]
+fn table1_latch_overhead_is_one_fo4() {
+    let p = DeviceParams::at_100nm();
+    let fo4 = fo4meas::measure_fo4(&p).picoseconds();
+    let m = latch::measure_latch_overhead(&p);
+    let in_fo4 = m.overhead_ps / fo4;
+    assert!(
+        (0.7..1.3).contains(&in_fo4),
+        "latch overhead {in_fo4} FO4 (paper 1.0)"
+    );
+    // And the FO4 itself is near the 36 ps rule of thumb at 100 nm.
+    assert!((30.0..44.0).contains(&fo4), "FO4 {fo4} ps (rule: 36)");
+}
+
+#[test]
+fn appendix_a_ecl_gate_equivalence() {
+    let e = kunkel_smith_equivalence();
+    assert!(
+        (1.0..1.7).contains(&e.gate_fo4),
+        "ECL gate {} FO4 (paper 1.36)",
+        e.gate_fo4
+    );
+    // Kunkel & Smith's 8-gate scalar optimum lands near 11 FO4 — the
+    // "more than twice the frequency" claim of §4.2 rests on this.
+    assert!(
+        (8.0..13.6).contains(&e.scalar_optimum_fo4),
+        "scalar stage {} FO4 (paper 10.9)",
+        e.scalar_optimum_fo4
+    );
+    let direct = ecl::measure_ecl_gate(&DeviceParams::at_100nm());
+    assert!((direct.gate_in_fo4() - e.gate_fo4).abs() < 1e-9);
+}

@@ -1,0 +1,217 @@
+//! Property-based tests over the core data structures and simulator
+//! invariants, spanning crates.
+
+use fo4depth::isa::{ArchReg, Instruction, Opcode};
+use fo4depth::pipeline::{CoreConfig, InOrderCore, OutOfOrderCore};
+use fo4depth::uarch::cache::Cache;
+use fo4depth::uarch::rob::ReorderBuffer;
+use fo4depth::uarch::segmented::{SegmentedWindow, SelectMode};
+use fo4depth::uarch::window::{ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel};
+use fo4depth::util::{harmonic_mean, Rng64, Xoshiro256StarStar};
+use fo4depth::workload::{profiles, BenchClass, BenchProfile, TraceGenerator};
+use fo4depth_fo4::{cycles_for, Fo4};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantization: at least one cycle, never more than one stage of slack.
+    #[test]
+    fn cycles_for_is_tight(latency in 0.0f64..400.0, t in 1.0f64..20.0) {
+        let c = cycles_for(Fo4::new(latency), Fo4::new(t));
+        prop_assert!(c >= 1);
+        // c−1 full stages must not cover the latency (up to float fuzz).
+        prop_assert!(f64::from(c - 1) * t < latency + t + 1e-6);
+        // c stages must cover it.
+        prop_assert!(f64::from(c) * t + 1e-6 >= latency.min(f64::from(c) * t));
+        prop_assert!(f64::from(c) * t >= latency - 1e-6);
+    }
+
+    /// Quantized latency is monotone non-increasing in t_useful.
+    #[test]
+    fn cycles_monotone_in_t(latency in 1.0f64..400.0, a in 1.0f64..19.0, delta in 0.1f64..5.0) {
+        let tight = cycles_for(Fo4::new(latency), Fo4::new(a));
+        let loose = cycles_for(Fo4::new(latency), Fo4::new(a + delta));
+        prop_assert!(loose <= tight);
+    }
+
+    /// Harmonic mean lies between min and max of its inputs.
+    #[test]
+    fn harmonic_mean_bounded(xs in proptest::collection::vec(0.001f64..1000.0, 1..20)) {
+        let hm = harmonic_mean(xs.iter().copied()).expect("positive inputs");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(hm >= lo - 1e-9 && hm <= hi + 1e-9);
+    }
+
+    /// RNG range stays in bounds for arbitrary seeds/bounds.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_range(bound) < bound);
+        }
+    }
+
+    /// A cache never reports more hits+misses than accesses, and repeating
+    /// the same address after a touch always hits.
+    #[test]
+    fn cache_repeat_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(16 * 1024, 2, 64);
+        for &a in &addrs {
+            let _ = c.access(a);
+            prop_assert!(c.access(a), "immediate repeat of {a:#x} must hit");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64 * 2);
+    }
+
+    /// Issue windows never exceed their budget or capacity, and selected
+    /// entries come out in age order.
+    #[test]
+    fn window_select_respects_budget(
+        readies in proptest::collection::vec(0u64..8, 1..32),
+        now in 0u64..8,
+    ) {
+        let mut conventional = ConventionalWindow::new(32, 1);
+        let mut segmented = SegmentedWindow::new(32, 4, SelectMode::figure12());
+        for (i, &r) in readies.iter().enumerate() {
+            let e = WindowEntry { seq: i as u64, port: IssuePort::Int, ready_at: r };
+            conventional.insert(e);
+            segmented.insert(e);
+        }
+        for w in [&mut conventional as &mut dyn WindowModel, &mut segmented] {
+            let before = w.len();
+            let mut budget = IssueBudget::alpha_like();
+            let picked = w.select(now, &mut budget);
+            prop_assert!(picked.len() <= 4, "int budget is 4");
+            prop_assert_eq!(w.len(), before - picked.len());
+            for pair in picked.windows(2) {
+                prop_assert!(pair[0].seq < pair[1].seq, "age order violated");
+            }
+            for e in &picked {
+                prop_assert!(e.ready_at <= now, "issued before ready");
+            }
+        }
+    }
+
+    /// The ROB commits in strict program order for arbitrary completion
+    /// schedules.
+    #[test]
+    fn rob_commits_in_order(completions in proptest::collection::vec(0u64..50, 1..40)) {
+        let mut rob = ReorderBuffer::new(64);
+        for (seq, _) in completions.iter().enumerate() {
+            rob.allocate(seq as u64, None).expect("capacity");
+        }
+        for (seq, &c) in completions.iter().enumerate() {
+            rob.complete(seq as u64, c);
+        }
+        let mut committed = Vec::new();
+        // Enough cycles for the worst case: latest completion plus drain
+        // time at the commit width.
+        for cycle in 0..=(50 + completions.len() as u64) {
+            committed.extend(rob.commit_ready(cycle, 4).into_iter().map(|e| e.seq));
+        }
+        let sorted: Vec<u64> = (0..completions.len() as u64).collect();
+        prop_assert_eq!(committed, sorted);
+    }
+
+    /// Trace generation is total and well-formed for arbitrary profile
+    /// perturbations within the valid parameter space.
+    #[test]
+    fn trace_generator_total(
+        seed in any::<u64>(),
+        dep in 1.0f64..20.0,
+        far in 0.0f64..1.0,
+        l2r in 0.0f64..0.4,
+        mem in 0.0f64..0.4,
+    ) {
+        let mut p: BenchProfile = profiles::by_name("176.gcc").expect("profile");
+        p.mean_dep_distance = dep;
+        p.far_source_fraction = far;
+        p.memory.l2_resident = l2r;
+        p.memory.memory = mem;
+        prop_assume!(p.validate().is_ok());
+        for inst in TraceGenerator::new(p, seed).take(300) {
+            if inst.op_class().is_memory() {
+                prop_assert!(inst.mem_addr.is_some());
+            }
+            if inst.op_class().is_control() {
+                prop_assert!(inst.branch.is_some());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Simulator-level properties are more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// IPC is bounded by the dispatch width on both cores, for any
+    /// benchmark and seed.
+    #[test]
+    fn ipc_bounded_by_width(seed in 1u64..1000, idx in 0usize..18) {
+        let p = profiles::all()[idx].clone();
+        let cfg = CoreConfig::alpha_like();
+
+        let mut ooo = OutOfOrderCore::new(cfg.clone(), TraceGenerator::new(p.clone(), seed));
+        ooo.run(1_000);
+        let r = ooo.run(5_000);
+        prop_assert!(r.ipc() <= f64::from(cfg.dispatch_width) + 1e-9);
+        prop_assert!(r.ipc() > 0.01);
+
+        let mut ino = InOrderCore::new(cfg.clone(), TraceGenerator::new(p, seed));
+        ino.run(1_000);
+        let r = ino.run(5_000);
+        prop_assert!(r.ipc() <= f64::from(cfg.dispatch_width) + 1e-9);
+    }
+}
+
+/// A focused determinism check (not a proptest: exact equality matters).
+#[test]
+fn simulators_are_bit_deterministic() {
+    for p in profiles::all().into_iter().take(3) {
+        let cfg = CoreConfig::alpha_like();
+        let run = || {
+            let mut c = OutOfOrderCore::new(cfg.clone(), TraceGenerator::new(p.clone(), 9));
+            c.run(2_000);
+            c.run(6_000)
+        };
+        assert_eq!(run(), run(), "{} not deterministic", p.name);
+    }
+}
+
+/// Dependent-chain IPC on the OoO core cannot exceed 1 regardless of
+/// configuration width.
+#[test]
+fn dependent_chain_cannot_exceed_unit_ipc() {
+    let chain = (0..).map(|i| {
+        Instruction::alu(
+            Opcode::Addq,
+            ArchReg::int(1),
+            ArchReg::int(1),
+            ArchReg::int(1),
+        )
+        .at_pc(0x1000 + i * 4)
+    });
+    let mut core = OutOfOrderCore::new(CoreConfig::alpha_like(), chain);
+    core.run(500);
+    assert!(core.run(3_000).ipc() <= 1.0 + 1e-9);
+}
+
+/// Class orderings hold for the calibrated profile set: vector FP has the
+/// most ILP, integer the least dependency slack.
+#[test]
+fn calibrated_class_structure() {
+    let all = profiles::all();
+    let mean_dep = |class: BenchClass| {
+        let v: Vec<f64> = all
+            .iter()
+            .filter(|p| p.class == class)
+            .map(|p| p.mean_dep_distance)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(mean_dep(BenchClass::VectorFp) > mean_dep(BenchClass::NonVectorFp));
+    assert!(mean_dep(BenchClass::NonVectorFp) > mean_dep(BenchClass::Integer));
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the analytical models (cacti, scaler, wires)
+//! and the trace serialization format.
+
+use fo4depth::cacti::{access_time, cam_access_time, CamConfig, SramConfig};
+use fo4depth::cacti::area::{cam_area, sram_area};
+use fo4depth::fo4::{Fo4, Rounding, TechNode, WireModel};
+use fo4depth::isa::{ArchReg, BranchInfo, Instruction, Opcode};
+use fo4depth::study::latency::{LatencyTable, StructureSet};
+use fo4depth::study::scaler::{MemoryConvention, ScaleOptions, ScaledMachine};
+use fo4depth::workload::traceio::{parse_line, render_line};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    use Opcode::*;
+    prop_oneof![
+        Just(Addq),
+        Just(Subq),
+        Just(And),
+        Just(Mulq),
+        Just(Addt),
+        Just(Divt),
+        Just(Sqrtt),
+        Just(Ldq),
+        Just(Ldt),
+        Just(Stq),
+        Just(Beq),
+        Just(Bge),
+        Just(Br),
+        Just(Ret),
+        Just(Nop),
+    ]
+}
+
+fn arb_reg() -> impl Strategy<Value = Option<ArchReg>> {
+    prop_oneof![
+        Just(None),
+        (0u8..32).prop_map(|i| Some(ArchReg::int(i))),
+        (0u8..32).prop_map(|i| Some(ArchReg::fp(i))),
+    ]
+}
+
+prop_compose! {
+    fn arb_instruction()(
+        opcode in arb_opcode(),
+        dest in arb_reg(),
+        src1 in arb_reg(),
+        src2 in arb_reg(),
+        mem in proptest::option::of(0u64..u64::MAX / 2),
+        branch in proptest::option::of((any::<bool>(), 0u64..u64::MAX / 2)),
+        pc in 0u64..u64::MAX / 2,
+    ) -> Instruction {
+        Instruction {
+            opcode,
+            dest,
+            src1,
+            src2,
+            mem_addr: mem,
+            branch: branch.map(|(taken, target)| BranchInfo { taken, target }),
+            pc,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The trace text format round-trips arbitrary instructions exactly.
+    #[test]
+    fn trace_format_round_trips(inst in arb_instruction()) {
+        let line = render_line(&inst);
+        let back = parse_line(&line).expect("rendered lines parse");
+        prop_assert_eq!(inst, back);
+    }
+
+    /// Cache access time grows (weakly) with capacity for any geometry.
+    #[test]
+    fn cacti_monotone_in_capacity(
+        kb_small in 3u32..8,
+        step in 1u32..4,
+        ways in prop_oneof![Just(1u32), Just(2), Just(4)],
+    ) {
+        let small = 1u64 << (kb_small + 10);
+        let large = 1u64 << (kb_small + step + 10);
+        let t_small = access_time(&SramConfig::cache(small, ways, 64)).total;
+        let t_large = access_time(&SramConfig::cache(large, ways, 64)).total;
+        prop_assert!(t_large >= t_small, "{small}B {t_small:?} vs {large}B {t_large:?}");
+    }
+
+    /// Area grows strictly with capacity, and energy stays positive.
+    #[test]
+    fn cacti_area_monotone(kb in 3u32..10, ways in prop_oneof![Just(1u32), Just(2)]) {
+        let a = sram_area(&SramConfig::cache(1 << (kb + 10), ways, 64), TechNode::NM_100);
+        let b = sram_area(&SramConfig::cache(1 << (kb + 11), ways, 64), TechNode::NM_100);
+        prop_assert!(b.area_mm2 > a.area_mm2);
+        prop_assert!(a.energy_pj > 0.0);
+    }
+
+    /// CAM wakeup time and search energy grow with entries.
+    #[test]
+    fn cam_monotone_in_entries(small in 4u32..32, extra in 4u32..64) {
+        let a = cam_access_time(&CamConfig::issue_window(small, 4)).total;
+        let b = cam_access_time(&CamConfig::issue_window(small + extra, 4)).total;
+        prop_assert!(b >= a);
+        let ea = cam_area(&CamConfig::issue_window(small, 4), TechNode::NM_100).energy_pj;
+        let eb = cam_area(&CamConfig::issue_window(small + extra, 4), TechNode::NM_100).energy_pj;
+        prop_assert!(eb > ea);
+    }
+
+    /// Every quantized latency table is internally consistent: nonzero
+    /// cycles, monotone against t_useful, FU rows anchored at the Alpha.
+    #[test]
+    fn latency_table_well_formed(t in 2.0f64..17.0, rounding in prop_oneof![Just(Rounding::Ceil), Just(Rounding::Nearest)]) {
+        let s = StructureSet::alpha_21264();
+        let table = LatencyTable::at_rounded(&s, Fo4::new(t), rounding);
+        for c in [
+            table.icache, table.dcache, table.l2, table.predictor, table.rename,
+            table.issue_window, table.regfile, table.int_add, table.int_mult,
+            table.fp_add, table.fp_mult, table.fp_div, table.fp_sqrt,
+        ] {
+            prop_assert!(c >= 1);
+        }
+        prop_assert!(table.l2 >= table.dcache);
+        prop_assert!(table.fp_sqrt >= table.fp_div);
+        prop_assert!(table.fp_div >= table.fp_mult);
+    }
+
+    /// Every scaled machine validates, regardless of clock point, overhead,
+    /// window size, memory convention, rounding, or wire budget.
+    #[test]
+    fn scaled_machines_always_validate(
+        t in 2.0f64..17.0,
+        overhead in 0.0f64..6.0,
+        window in prop_oneof![Just(16u32), Just(32), Just(64)],
+        cycles_mem in prop_oneof![Just(true), Just(false)],
+        transport in 0.0f64..40.0,
+    ) {
+        let options = ScaleOptions {
+            overhead: Fo4::new(overhead),
+            window_entries: window,
+            memory: if cycles_mem {
+                MemoryConvention::ConstantCycles(113)
+            } else {
+                MemoryConvention::AbsoluteTime(Fo4::new(1950.0))
+            },
+            rounding: Rounding::Ceil,
+            transport_mm: transport,
+            wires: WireModel::default(),
+        };
+        let m = ScaledMachine::with_options(&StructureSet::alpha_21264(), Fo4::new(t), options);
+        prop_assert!(m.config.validate().is_ok());
+        prop_assert!(m.period_ps() > 0.0);
+        // Deeper clocks never shorten the front end.
+        let deeper = ScaledMachine::with_options(
+            &StructureSet::alpha_21264(),
+            Fo4::new(t / 2.0),
+            options,
+        );
+        prop_assert!(deeper.config.depths.front_end() >= m.config.depths.front_end());
+    }
+
+    /// Wire transport stages are monotone in both distance and clock depth.
+    #[test]
+    fn wire_stages_monotone(mm in 0.0f64..50.0, extra_mm in 0.1f64..20.0, t in 2.0f64..16.0) {
+        let w = WireModel::default();
+        let near = w.transport_stages(mm, Fo4::new(t));
+        let far = w.transport_stages(mm + extra_mm, Fo4::new(t));
+        prop_assert!(far >= near);
+        let shallow = w.transport_stages(mm + extra_mm, Fo4::new(t + 2.0));
+        prop_assert!(shallow <= far);
+    }
+}

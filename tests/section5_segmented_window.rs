@@ -1,0 +1,96 @@
+//! §5 reproduction: the segmented instruction window (Figures 10–12).
+
+use fo4depth::study::segmented::{select_eval, window_depth_sweep};
+use fo4depth::study::sim::SimParams;
+use fo4depth::workload::{profiles, BenchClass};
+
+fn params() -> SimParams {
+    SimParams {
+        warmup: 10_000,
+        measure: 40_000,
+        seed: 1,
+    }
+}
+
+#[test]
+fn figure11_depth_sweep_losses() {
+    let profs = profiles::all();
+    let curves = window_depth_sweep(&profs, &params(), &[1, 2, 4, 6, 8, 10]);
+
+    let int = curves
+        .iter()
+        .find(|c| c.class == BenchClass::Integer)
+        .expect("integer curve");
+    let vec = curves
+        .iter()
+        .find(|c| c.class == BenchClass::VectorFp)
+        .expect("vector curve");
+
+    // "IPC of integer and vector benchmarks remain unchanged until the
+    // window is pipelined to a depth of 4 stages" — allow a few percent.
+    let int_at4 = int.relative_ipc.iter().find(|p| p.0 == 4).expect("4").1;
+    assert!(int_at4 > 0.93, "integer IPC at 4 stages {int_at4}");
+
+    // "overall decrease ... from 1 to 10 stages is approximately 11%" for
+    // integer and 5% for FP. Our losses are smaller (the collapsing model
+    // compacts fully every cycle and window occupancies run lower than
+    // SPEC's — see EXPERIMENTS.md); the assertions pin the *shape*: a
+    // clearly nonzero integer loss, a smaller FP loss, and the ordering.
+    let int_loss = 1.0 - int.at_max_depth();
+    let vec_loss = 1.0 - vec.at_max_depth();
+    assert!(
+        (0.015..0.25).contains(&int_loss),
+        "integer loss at 10 stages {int_loss} (paper 0.11)"
+    );
+    assert!(
+        (-0.01..0.12).contains(&vec_loss),
+        "vector loss at 10 stages {vec_loss} (paper 0.05)"
+    );
+    assert!(
+        int_loss > vec_loss,
+        "integer ({int_loss}) must lose more than vector ({vec_loss})"
+    );
+
+    // Monotone (within noise): deeper staging never helps.
+    for c in &curves {
+        for w in c.relative_ipc.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 0.02,
+                "{:?} gained IPC from deeper staging: {:?}",
+                c.class,
+                c.relative_ipc
+            );
+        }
+    }
+}
+
+#[test]
+fn figure12_preselection_losses() {
+    let profs = profiles::all();
+    let evals = select_eval(&profs, &params());
+
+    let int = evals
+        .iter()
+        .find(|e| e.class == BenchClass::Integer)
+        .expect("integer eval");
+    let vec = evals
+        .iter()
+        .find(|e| e.class == BenchClass::VectorFp)
+        .expect("vector eval");
+
+    // Paper: integer −4%, FP −1% vs a single-cycle 32-entry window.
+    assert!(
+        (0.0..0.12).contains(&int.loss()),
+        "integer pre-selection loss {} (paper 0.04)",
+        int.loss()
+    );
+    assert!(
+        (-0.02..0.06).contains(&vec.loss()),
+        "vector pre-selection loss {} (paper 0.01)",
+        vec.loss()
+    );
+    assert!(
+        int.loss() >= vec.loss() - 0.01,
+        "integer should lose at least as much as vector"
+    );
+}
