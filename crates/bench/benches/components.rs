@@ -3,16 +3,18 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use fo4depth_isa::ArchReg;
 use fo4depth_uarch::branch::{Bimodal, BranchPredictor, Gshare, Perceptron, Tournament};
 use fo4depth_uarch::cache::Cache;
 use fo4depth_uarch::rename::RenameMap;
 use fo4depth_uarch::rob::ReorderBuffer;
 use fo4depth_uarch::segmented::{SegmentedWindow, SelectMode};
 use fo4depth_uarch::speculative::SpeculativeWindow;
-use fo4depth_uarch::window::{ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel};
+use fo4depth_uarch::window::{
+    ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel,
+};
 use fo4depth_util::{Rng64, Xoshiro256StarStar};
 use fo4depth_workload::{profiles, TraceGenerator};
-use fo4depth_isa::ArchReg;
 
 fn bench_predictors(c: &mut Criterion) {
     let mut g = c.benchmark_group("predictors");
@@ -82,7 +84,11 @@ fn window_entries(n: u64) -> Vec<WindowEntry> {
     (0..n)
         .map(|seq| WindowEntry {
             seq,
-            port: if seq % 3 == 0 { IssuePort::Mem } else { IssuePort::Int },
+            port: if seq % 3 == 0 {
+                IssuePort::Mem
+            } else {
+                IssuePort::Int
+            },
             ready_at: seq % 5,
         })
         .collect()

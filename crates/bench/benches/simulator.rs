@@ -48,10 +48,8 @@ fn bench_cores(c: &mut Criterion) {
     g.bench_function("ooo_6fo4_164.gzip", |b| {
         let profile = profiles::by_name("164.gzip").expect("profile");
         b.iter(|| {
-            let mut core = OutOfOrderCore::new(
-                deep.config.clone(),
-                TraceGenerator::new(profile.clone(), 1),
-            );
+            let mut core =
+                OutOfOrderCore::new(deep.config.clone(), TraceGenerator::new(profile.clone(), 1));
             black_box(core.run(INSTRUCTIONS));
         });
     });

@@ -52,23 +52,25 @@ impl ExperimentId {
     #[must_use]
     pub fn from_flag(flag: &str) -> Option<ExperimentId> {
         use ExperimentId::*;
-        Some(match flag.trim_start_matches("--").to_lowercase().as_str() {
-            "table1" => Table1,
-            "figure1" => Figure1,
-            "table2" => Table2,
-            "table3" => Table3,
-            "figure4a" => Figure4a,
-            "figure4b" => Figure4b,
-            "figure5" => Figure5,
-            "figure6" => Figure6,
-            "figure7" => Figure7,
-            "figure8" => Figure8,
-            "figure11" => Figure11,
-            "figure12" => Figure12,
-            "cray1s" => Cray1s,
-            "appendixa" => AppendixA,
-            _ => return None,
-        })
+        Some(
+            match flag.trim_start_matches("--").to_lowercase().as_str() {
+                "table1" => Table1,
+                "figure1" => Figure1,
+                "table2" => Table2,
+                "table3" => Table3,
+                "figure4a" => Figure4a,
+                "figure4b" => Figure4b,
+                "figure5" => Figure5,
+                "figure6" => Figure6,
+                "figure7" => Figure7,
+                "figure8" => Figure8,
+                "figure11" => Figure11,
+                "figure12" => Figure12,
+                "cray1s" => Cray1s,
+                "appendixa" => AppendixA,
+                _ => return None,
+            },
+        )
     }
 
     /// The registry entry describing this experiment.
@@ -128,7 +130,10 @@ fn print_class_series(sweep: &fo4depth_study::sweep::DepthSweep) {
             continue;
         }
         let (opt, bips) = sweep.class_optimum(class);
-        println!("  {:14} optimum {opt:>4.1} FO4 ({bips:.3} BIPS)", class.label());
+        println!(
+            "  {:14} optimum {opt:>4.1} FO4 ({bips:.3} BIPS)",
+            class.label()
+        );
     }
 }
 
@@ -164,7 +169,10 @@ pub fn run_experiment(id: ExperimentId, cfg: &RunConfig) {
             );
         }
         ExperimentId::Figure1 => {
-            println!("{:>6} {:>8} {:>10} {:>12}", "year", "tech", "MHz", "period FO4");
+            println!(
+                "{:>6} {:>8} {:>10} {:>12}",
+                "year", "tech", "MHz", "period FO4"
+            );
             for d in intel_history() {
                 println!(
                     "{:>6} {:>8} {:>10.0} {:>12.1}",
@@ -187,7 +195,12 @@ pub fn run_experiment(id: ExperimentId, cfg: &RunConfig) {
                     .filter(|p| p.class == class)
                     .map(|p| p.name)
                     .collect();
-                println!("{:14} ({}): {}", class.label(), names.len(), names.join(", "));
+                println!(
+                    "{:14} ({}): {}",
+                    class.label(),
+                    names.len(),
+                    names.join(", ")
+                );
             }
             // Measured stream statistics — the calibration behind the
             // stand-ins (generator-level; see `fo4depth validate` for the
@@ -286,7 +299,10 @@ pub fn run_experiment(id: ExperimentId, cfg: &RunConfig) {
                 .map(Fo4::new)
                 .collect();
             let study = capacity_study_with(&profs, params, &points);
-            println!("{:>9} {:>10} {:>11}  choice", "t_useful", "base", "optimized");
+            println!(
+                "{:>9} {:>10} {:>11}  choice",
+                "t_useful", "base", "optimized"
+            );
             let base = study.base.series(None);
             let opt = study.optimized.series(None);
             for (i, ((t, b), (_, o))) in base.iter().zip(&opt).enumerate() {
@@ -369,7 +385,10 @@ pub fn run_experiment(id: ExperimentId, cfg: &RunConfig) {
         }
         ExperimentId::AppendixA => {
             let e = kunkel_smith_equivalence();
-            println!("1 Cray ECL gate = {:.2} FO4 (paper {})", e.gate_fo4, headlines.ecl_gate_fo4);
+            println!(
+                "1 Cray ECL gate = {:.2} FO4 (paper {})",
+                e.gate_fo4, headlines.ecl_gate_fo4
+            );
             println!(
                 "Kunkel-Smith scalar/vector optima: {:.1} / {:.1} FO4 (paper 10.9 / 5.4)",
                 e.scalar_optimum_fo4, e.vector_optimum_fo4
@@ -392,8 +411,14 @@ mod tests {
                 "{id:?} missing from registry"
             );
         }
-        assert_eq!(ExperimentId::from_flag("--figure5"), Some(ExperimentId::Figure5));
-        assert_eq!(ExperimentId::from_flag("table3"), Some(ExperimentId::Table3));
+        assert_eq!(
+            ExperimentId::from_flag("--figure5"),
+            Some(ExperimentId::Figure5)
+        );
+        assert_eq!(
+            ExperimentId::from_flag("table3"),
+            Some(ExperimentId::Table3)
+        );
         assert_eq!(ExperimentId::from_flag("--nope"), None);
     }
 

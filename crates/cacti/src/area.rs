@@ -122,8 +122,8 @@ pub fn cam_area_k(cfg: &CamConfig, node: TechNode, k: &AreaCoefficients) -> Area
     let area_um2 = bits * cell * k.periphery_factor * scale_area(node);
     // Search: every entry's comparator switches on every broadcast.
     let searched_bits = f64::from(cfg.entries) * f64::from(cfg.tag_bits);
-    let energy_pj = k.energy_decode_pj
-        + searched_bits * k.energy_per_bit_pj * f64::from(cfg.broadcast_ports);
+    let energy_pj =
+        k.energy_decode_pj + searched_bits * k.energy_per_bit_pj * f64::from(cfg.broadcast_ports);
     AreaEstimate {
         area_mm2: area_um2 / 1.0e6,
         energy_pj,

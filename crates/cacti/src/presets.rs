@@ -110,8 +110,14 @@ pub fn table3_structures() -> Vec<(&'static str, f64)> {
         ("DL1", access_time(&data_cache_64kb()).total.get()),
         ("Branch predictor", branch_predictor_latency().get()),
         ("Rename table", cam_access_time(&rename_table()).total.get()),
-        ("Issue window", cam_access_time(&issue_window(32)).total.get()),
-        ("Register file", access_time(&register_file_512()).total.get()),
+        (
+            "Issue window",
+            cam_access_time(&issue_window(32)).total.get(),
+        ),
+        (
+            "Register file",
+            access_time(&register_file_512()).total.get(),
+        ),
     ]
 }
 

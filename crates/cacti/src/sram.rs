@@ -125,9 +125,8 @@ pub struct SramTiming {
 #[must_use]
 pub fn access_time_with(cfg: &SramConfig, org: Organization, k: &Coefficients) -> AccessBreakdown {
     let rows_total = (cfg.entries as f64 / f64::from(org.nspd)).max(1.0);
-    let cols_total = f64::from(cfg.bits_per_entry)
-        * f64::from(cfg.associativity)
-        * f64::from(org.nspd);
+    let cols_total =
+        f64::from(cfg.bits_per_entry) * f64::from(cfg.associativity) * f64::from(org.nspd);
 
     let rows_sub = (rows_total / f64::from(org.ndbl)).max(1.0);
     let cols_sub = (cols_total / f64::from(org.ndwl)).max(1.0);
@@ -156,9 +155,10 @@ pub fn access_time_with(cfg: &SramConfig, org: Organization, k: &Coefficients) -
     };
     // Global H-tree: grows with total capacity; narrow read-out widths need
     // less routed wiring than full cache lines.
-    let width_factor =
-        0.4 + 0.6 * (f64::from(cfg.bits_per_entry).min(512.0) / 512.0);
-    let output = k.output_route * cfg.kilobits().max(1.0).powf(k.output_exponent) * width_factor
+    let width_factor = 0.4 + 0.6 * (f64::from(cfg.bits_per_entry).min(512.0) / 512.0);
+    let output = k.output_route
+        * cfg.kilobits().max(1.0).powf(k.output_exponent)
+        * width_factor
         * port_factor_out
         + k.nspd_mux * log2f(f64::from(org.nspd));
 
@@ -217,7 +217,9 @@ mod tests {
     fn access_time_monotone_in_capacity() {
         let mut last = 0.0;
         for kb in [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048] {
-            let t = access_time(&SramConfig::cache(kb * 1024, 2, 64)).total.get();
+            let t = access_time(&SramConfig::cache(kb * 1024, 2, 64))
+                .total
+                .get();
             assert!(t > last, "{kb} KB: {t} not > {last}");
             last = t;
         }

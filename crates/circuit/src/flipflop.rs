@@ -42,10 +42,34 @@ fn keeper(nl: &mut Netlist, from: Node, to: Node, en_n_gate: Node, en_p_gate: No
     let (gnd, vdd) = (nl.gnd(), nl.vdd());
     let mid_n = nl.node();
     let mid_p = nl.node();
-    nl.add_device(Mosfet::new(MosfetKind::Nmos, wn, to.index(), mid_n.index(), en_n_gate.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Nmos, wn, mid_n.index(), gnd.index(), from.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Pmos, wp, to.index(), mid_p.index(), en_p_gate.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Pmos, wp, mid_p.index(), vdd.index(), from.index()));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Nmos,
+        wn,
+        to.index(),
+        mid_n.index(),
+        en_n_gate.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Nmos,
+        wn,
+        mid_n.index(),
+        gnd.index(),
+        from.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Pmos,
+        wp,
+        to.index(),
+        mid_p.index(),
+        en_p_gate.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Pmos,
+        wp,
+        mid_p.index(),
+        vdd.index(),
+        from.index(),
+    ));
 }
 
 /// Builds the transmission-gate master–slave flip-flop in the Figure 3

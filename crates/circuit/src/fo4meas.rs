@@ -31,7 +31,14 @@ impl Fo4Measurement {
 
 /// Builds the sized chain and returns (netlist, input node, measured stage
 /// input, measured stage output).
-fn build_chain(params: &DeviceParams) -> (Netlist, crate::netlist::Node, crate::netlist::Node, crate::netlist::Node) {
+fn build_chain(
+    params: &DeviceParams,
+) -> (
+    Netlist,
+    crate::netlist::Node,
+    crate::netlist::Node,
+    crate::netlist::Node,
+) {
     let mut nl = Netlist::new(*params);
     let input = nl.node();
     nl.drive(input);

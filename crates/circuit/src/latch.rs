@@ -72,10 +72,34 @@ fn build(params: &DeviceParams) -> LatchCircuit {
     let mid_n = nl.node();
     let mid_p = nl.node();
     let (gnd, vdd) = (nl.gnd(), nl.vdd());
-    nl.add_device(Mosfet::new(MosfetKind::Nmos, wn, x.index(), mid_n.index(), clkb.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Nmos, wn, mid_n.index(), gnd.index(), q.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Pmos, wp, x.index(), mid_p.index(), latch_clk.index()));
-    nl.add_device(Mosfet::new(MosfetKind::Pmos, wp, mid_p.index(), vdd.index(), q.index()));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Nmos,
+        wn,
+        x.index(),
+        mid_n.index(),
+        clkb.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Nmos,
+        wn,
+        mid_n.index(),
+        gnd.index(),
+        q.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Pmos,
+        wp,
+        x.index(),
+        mid_p.index(),
+        latch_clk.index(),
+    ));
+    nl.add_device(Mosfet::new(
+        MosfetKind::Pmos,
+        wp,
+        mid_p.index(),
+        vdd.index(),
+        q.index(),
+    ));
 
     // Output load: a second latch with its transmission gate turned on
     // (paper: "the output drives a similar latch with its transmission gate

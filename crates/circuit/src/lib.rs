@@ -51,6 +51,6 @@ pub use ecl::EclMeasurement;
 pub use flipflop::FlipFlopMeasurement;
 pub use fo4meas::Fo4Measurement;
 pub use latch::{LatchMeasurement, LatchSweepPoint};
-pub use ringosc::RingMeasurement;
 pub use netlist::{Netlist, Node};
+pub use ringosc::RingMeasurement;
 pub use sim::{Transient, Waveform};

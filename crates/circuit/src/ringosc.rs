@@ -49,8 +49,11 @@ pub fn measure_ring(params: &DeviceParams, stages: usize) -> RingMeasurement {
     let mut tr = Transient::new(&nl);
     // Break the metastable all-equal start: bias one node high.
     tr.set_initial(first, params.vdd);
-    // Simulate long enough for several periods even on long rings.
-    let horizon = 40.0 * stages as f64 + 400.0;
+    // Simulate long enough for several periods even on long rings. The
+    // period is 2 × stages × t_FO1 and t_FO1 can reach ~20 ps at the
+    // slower nodes, so budget well over 40 ps of horizon per stage: the
+    // 30 % settle window plus two full periods must fit inside it.
+    let horizon = 150.0 * stages as f64 + 400.0;
     let waves = tr.run(horizon);
     let w = waves.node(first);
     let mid = params.vdd / 2.0;

@@ -1,19 +1,35 @@
+use fo4depth_fo4::Fo4;
 use fo4depth_study::latency::StructureSet;
 use fo4depth_study::sim::SimParams;
 use fo4depth_study::sweep::{depth_sweep_with, standard_points, CoreKind};
-use fo4depth_fo4::Fo4;
 use fo4depth_workload::{profiles, BenchClass};
 
 fn main() {
-    let params = SimParams { warmup: 10_000, measure: 40_000, seed: 1 };
+    let params = SimParams {
+        warmup: 10_000,
+        measure: 40_000,
+        seed: 1,
+    };
     for (label, ovh) in [("4a (no overhead)", 0.0), ("4b (1.8 FO4)", 1.8)] {
-        let sweep = depth_sweep_with(CoreKind::InOrder, &profiles::all(), &params,
-            &StructureSet::alpha_21264(), Fo4::new(ovh), &standard_points());
+        let sweep = depth_sweep_with(
+            CoreKind::InOrder,
+            &profiles::all(),
+            &params,
+            &StructureSet::alpha_21264(),
+            Fo4::new(ovh),
+            &standard_points(),
+        );
         println!("-- Figure {label} --");
-        for class in [BenchClass::Integer, BenchClass::VectorFp, BenchClass::NonVectorFp] {
+        for class in [
+            BenchClass::Integer,
+            BenchClass::VectorFp,
+            BenchClass::NonVectorFp,
+        ] {
             let s = sweep.series(Some(class));
             print!("{:14}", class.label());
-            for (t, b) in &s { print!(" {t:>2.0}:{b:>5.2}"); }
+            for (t, b) in &s {
+                print!(" {t:>2.0}:{b:>5.2}");
+            }
             let (opt, _) = sweep.class_optimum(class);
             println!("  OPT {opt}");
         }

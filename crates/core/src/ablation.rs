@@ -101,10 +101,7 @@ pub struct SchedulerResult {
 ///
 /// Panics if `profiles` is empty.
 #[must_use]
-pub fn scheduler_comparison(
-    profiles: &[BenchProfile],
-    params: &SimParams,
-) -> Vec<SchedulerResult> {
+pub fn scheduler_comparison(profiles: &[BenchProfile], params: &SimParams) -> Vec<SchedulerResult> {
     assert!(!profiles.is_empty(), "need benchmarks");
     let ipc_of = |design: SchedulerDesign| -> f64 {
         let mut cfg = CoreConfig::alpha_like();
@@ -285,8 +282,7 @@ pub fn predictor_ablation(profiles: &[BenchProfile], params: &SimParams) -> Vec<
             let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
             PredictorPoint {
                 label: label.to_string(),
-                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc()))
-                    .expect("positive IPC"),
+                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),
                 mispredict_rate: outcomes
                     .iter()
                     .map(|o| o.result.mispredict_rate())
@@ -323,8 +319,7 @@ pub fn cluster_ablation(
             let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
             ClusterPoint {
                 penalty,
-                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc()))
-                    .expect("positive IPC"),
+                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),
             }
         })
         .collect()
@@ -355,8 +350,7 @@ pub fn mshr_ablation(
             let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
             MshrPoint {
                 mshr_limit,
-                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc()))
-                    .expect("positive IPC"),
+                ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),
             }
         })
         .collect()
@@ -398,7 +392,10 @@ mod tests {
         assert!(naive < 1.0, "naive pipelining must cost IPC, got {naive}");
         // Both fast-scheduler designs stay within a hair of (or beat) naive
         // pipelining while being clockable — the §6 argument.
-        assert!(seg > naive - 0.01, "segmented {seg} far below naive {naive}");
+        assert!(
+            seg > naive - 0.01,
+            "segmented {seg} far below naive {naive}"
+        );
         assert!(
             spec >= naive - 1e-9,
             "speculative {spec} must not lose to naive {naive}"
@@ -424,7 +421,10 @@ mod tests {
             at >= cc,
             "absolute-time optimum {at} should be at least as shallow as constant-cycle {cc}"
         );
-        assert!(at >= 12.0, "absolute-time optimum should sit shallow, got {at}");
+        assert!(
+            at >= 12.0,
+            "absolute-time optimum should sit shallow, got {at}"
+        );
     }
 
     #[test]
@@ -441,7 +441,10 @@ mod tests {
         let profs = vec![profiles::by_name("181.mcf").unwrap()];
         let pts = mshr_ablation(&profs, &params(), &[1, 8, 0]);
         assert!(pts[0].ipc < pts[1].ipc, "1 MSHR must be worse than 8");
-        assert!(pts[1].ipc <= pts[2].ipc + 1e-9, "8 MSHRs cannot beat unbounded");
+        assert!(
+            pts[1].ipc <= pts[2].ipc + 1e-9,
+            "8 MSHRs cannot beat unbounded"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! 6 FO4 of useful logic.
 
 use fo4depth_fo4::Fo4;
-use fo4depth_workload::{BenchProfile};
+use fo4depth_workload::BenchProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::latency::StructureSet;
@@ -21,12 +21,7 @@ use crate::sweep::{standard_points, CoreKind, DepthSweep, SweepPoint};
 /// Candidate D-cache capacities (bytes).
 pub const DCACHE_CANDIDATES: [u64; 4] = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024];
 /// Candidate L2 capacities (bytes).
-pub const L2_CANDIDATES: [u64; 4] = [
-    256 * 1024,
-    512 * 1024,
-    1024 * 1024,
-    2 * 1024 * 1024,
-];
+pub const L2_CANDIDATES: [u64; 4] = [256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024];
 /// Candidate issue-window capacities (entries).
 pub const WINDOW_CANDIDATES: [u32; 3] = [16, 32, 64];
 /// Candidate predictor table sizes (entries).
@@ -94,7 +89,13 @@ pub fn optimize_at(
 
     let mut best_dcache = (f64::NEG_INFINITY, best.dcache);
     for d in DCACHE_CANDIDATES {
-        let s = score(&CapacityChoice { dcache: d, ..best }, t, overhead, profiles, params);
+        let s = score(
+            &CapacityChoice { dcache: d, ..best },
+            t,
+            overhead,
+            profiles,
+            params,
+        );
         if s > best_dcache.0 {
             best_dcache = (s, d);
         }
@@ -103,7 +104,13 @@ pub fn optimize_at(
 
     let mut best_l2 = (f64::NEG_INFINITY, best.l2);
     for c in L2_CANDIDATES {
-        let s = score(&CapacityChoice { l2: c, ..best }, t, overhead, profiles, params);
+        let s = score(
+            &CapacityChoice { l2: c, ..best },
+            t,
+            overhead,
+            profiles,
+            params,
+        );
         if s > best_l2.0 {
             best_l2 = (s, c);
         }
@@ -112,7 +119,13 @@ pub fn optimize_at(
 
     let mut best_window = (f64::NEG_INFINITY, best.window);
     for w in WINDOW_CANDIDATES {
-        let s = score(&CapacityChoice { window: w, ..best }, t, overhead, profiles, params);
+        let s = score(
+            &CapacityChoice { window: w, ..best },
+            t,
+            overhead,
+            profiles,
+            params,
+        );
         if s > best_window.0 {
             best_window = (s, w);
         }
@@ -122,7 +135,10 @@ pub fn optimize_at(
     let mut best_pred = (f64::NEG_INFINITY, best.predictor);
     for p in PREDICTOR_CANDIDATES {
         let s = score(
-            &CapacityChoice { predictor: p, ..best },
+            &CapacityChoice {
+                predictor: p,
+                ..best
+            },
             t,
             overhead,
             profiles,

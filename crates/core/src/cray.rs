@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn equivalence_close_to_paper() {
         let e = kunkel_smith_equivalence();
-        assert!((1.0..1.7).contains(&e.gate_fo4), "gate = {} FO4", e.gate_fo4);
+        assert!(
+            (1.0..1.7).contains(&e.gate_fo4),
+            "gate = {} FO4",
+            e.gate_fo4
+        );
         assert!(
             (8.0..13.6).contains(&e.scalar_optimum_fo4),
             "scalar = {} FO4",

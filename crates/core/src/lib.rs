@@ -49,6 +49,7 @@ pub mod overhead;
 pub mod power;
 pub mod projection;
 pub mod render;
+pub mod report;
 pub mod scaler;
 pub mod segmented;
 pub mod sim;

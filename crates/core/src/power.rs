@@ -70,7 +70,8 @@ impl EnergyModel {
             l2_access_pj: STRUCT_OVERHEAD * sram_area(&presets::l2_cache_2mb(), node).energy_pj,
             window_search_pj: STRUCT_OVERHEAD
                 * cam_area(&presets::issue_window(32), node).energy_pj,
-            regfile_pj: 3.0 * STRUCT_OVERHEAD
+            regfile_pj: 3.0
+                * STRUCT_OVERHEAD
                 * sram_area(&presets::register_file_512(), node).energy_pj,
         }
     }
@@ -98,8 +99,10 @@ pub struct PowerPoint {
 /// read, a representative execute depth, and the D-cache pipeline.
 fn stage_ranks(machine: &ScaledMachine) -> f64 {
     let d = &machine.config.depths;
-    (d.front_end() + d.regread + u64::from(machine.latencies.int_add) + u64::from(machine.latencies.dcache))
-        as f64
+    (d.front_end()
+        + d.regread
+        + u64::from(machine.latencies.int_add)
+        + u64::from(machine.latencies.dcache)) as f64
 }
 
 /// Runs the power-performance sweep.
@@ -190,7 +193,12 @@ mod tests {
     #[test]
     fn deep_clocks_burn_more_energy_per_instruction() {
         let pts = sweep();
-        let epi_at = |t: f64| pts.iter().find(|p| p.t_useful == t).expect("point").nj_per_instruction;
+        let epi_at = |t: f64| {
+            pts.iter()
+                .find(|p| p.t_useful == t)
+                .expect("point")
+                .nj_per_instruction
+        };
         assert!(epi_at(2.0) > epi_at(6.0));
         assert!(epi_at(6.0) > epi_at(16.0));
     }
@@ -203,7 +211,10 @@ mod tests {
         let by_bips = optimum_by(&pts, |p| p.bips);
         let by_eff = optimum_by(&pts, |p| p.bips_per_watt);
         let by_ed2 = optimum_by(&pts, |p| p.bips3_per_watt);
-        assert!(by_eff >= by_bips, "BIPS/W optimum {by_eff} vs BIPS {by_bips}");
+        assert!(
+            by_eff >= by_bips,
+            "BIPS/W optimum {by_eff} vs BIPS {by_bips}"
+        );
         assert!(
             (by_bips..=16.0).contains(&by_ed2),
             "BIPS^3/W optimum {by_ed2} should sit between {by_bips} and the shallow end"

@@ -148,7 +148,10 @@ mod tests {
             measure: 10_000,
             seed: 1,
         };
-        let points: Vec<Fo4> = [4.0, 6.0, 9.0, 12.0, 14.0].into_iter().map(Fo4::new).collect();
+        let points: Vec<Fo4> = [4.0, 6.0, 9.0, 12.0, 14.0]
+            .into_iter()
+            .map(Fo4::new)
+            .collect();
         let sweep = depth_sweep_with(
             CoreKind::OutOfOrder,
             &profs,

@@ -36,7 +36,12 @@ fn config_with_window(window: WindowConfig) -> CoreConfig {
     cfg
 }
 
-fn class_ipc(profiles: &[BenchProfile], cfg: &CoreConfig, params: &SimParams, class: BenchClass) -> Option<f64> {
+fn class_ipc(
+    profiles: &[BenchProfile],
+    cfg: &CoreConfig,
+    params: &SimParams,
+    class: BenchClass,
+) -> Option<f64> {
     let selected: Vec<BenchProfile> = profiles
         .iter()
         .filter(|p| p.class == class)
@@ -201,7 +206,10 @@ mod tests {
             .find(|c| c.class == BenchClass::VectorFp)
             .unwrap()
             .at_max_depth();
-        assert!(int < vec, "integer {int} should lose more than vector {vec}");
+        assert!(
+            int < vec,
+            "integer {int} should lose more than vector {vec}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! configuration and summarize per paper conventions (harmonic-mean BIPS
 //! per benchmark class).
 
-use fo4depth_pipeline::{CoreConfig, InOrderCore, OutOfOrderCore, SimResult};
+use fo4depth_pipeline::{CoreConfig, Counters, InOrderCore, OutOfOrderCore, SimResult};
 use fo4depth_util::harmonic_mean;
 use fo4depth_workload::{BenchClass, BenchProfile, TraceGenerator};
 use serde::{Deserialize, Serialize};
@@ -63,37 +63,89 @@ pub struct BenchOutcome {
     pub class: BenchClass,
     /// Raw counters of the measured interval.
     pub result: SimResult,
+    /// Per-stage stall attribution, when the run was observed.
+    pub counters: Option<Counters>,
 }
 
 /// Runs one profile on the out-of-order core.
 #[must_use]
 pub fn run_ooo(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
+    run_ooo_inner(cfg, profile, params, false)
+}
+
+/// Runs one profile on the out-of-order core with stall-attribution
+/// counters collected over the measured interval. Observation is read-only:
+/// `result` is bit-identical to the unobserved [`run_ooo`].
+#[must_use]
+pub fn run_ooo_observed(
+    cfg: &CoreConfig,
+    profile: &BenchProfile,
+    params: &SimParams,
+) -> BenchOutcome {
+    run_ooo_inner(cfg, profile, params, true)
+}
+
+fn run_ooo_inner(
+    cfg: &CoreConfig,
+    profile: &BenchProfile,
+    params: &SimParams,
+    observe: bool,
+) -> BenchOutcome {
     let trace = TraceGenerator::new(profile.clone(), params.seed);
     let prewarm = trace.prewarm_addresses();
     let mut core = OutOfOrderCore::new(cfg.clone(), trace);
     core.prewarm(prewarm);
     core.run(params.warmup);
+    if observe {
+        core.enable_counters();
+    }
     let result = core.run(params.measure);
+    let counters = core.take_counters();
     BenchOutcome {
         name: profile.name.clone(),
         class: profile.class,
         result,
+        counters,
     }
 }
 
 /// Runs one profile on the in-order core.
 #[must_use]
 pub fn run_inorder(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
+    run_inorder_inner(cfg, profile, params, false)
+}
+
+/// Runs one profile on the in-order core with stall-attribution counters.
+#[must_use]
+pub fn run_inorder_observed(
+    cfg: &CoreConfig,
+    profile: &BenchProfile,
+    params: &SimParams,
+) -> BenchOutcome {
+    run_inorder_inner(cfg, profile, params, true)
+}
+
+fn run_inorder_inner(
+    cfg: &CoreConfig,
+    profile: &BenchProfile,
+    params: &SimParams,
+    observe: bool,
+) -> BenchOutcome {
     let trace = TraceGenerator::new(profile.clone(), params.seed);
     let prewarm = trace.prewarm_addresses();
     let mut core = InOrderCore::new(cfg.clone(), trace);
     core.prewarm(prewarm);
     core.run(params.warmup);
+    if observe {
+        core.enable_counters();
+    }
     let result = core.run(params.measure);
+    let counters = core.take_counters();
     BenchOutcome {
         name: profile.name.clone(),
         class: profile.class,
         result,
+        counters,
     }
 }
 

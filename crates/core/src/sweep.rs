@@ -11,7 +11,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
-use crate::sim::{run_inorder, run_ooo, run_set, summarize, BenchOutcome, SimParams};
+use crate::sim::{
+    run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, run_set, summarize, BenchOutcome,
+    SimParams,
+};
 
 /// Which core model a sweep exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,13 +115,43 @@ pub fn depth_sweep_with(
     overhead: Fo4,
     points: &[Fo4],
 ) -> DepthSweep {
+    depth_sweep_inner(core, profiles, params, structures, overhead, points, false)
+}
+
+/// Like [`depth_sweep_with`], but every run collects stall-attribution
+/// counters, so each [`BenchOutcome`] in the sweep carries its CPI stack.
+/// Observation is read-only: BIPS curves are bit-identical to the
+/// unobserved sweep.
+#[must_use]
+pub fn depth_sweep_observed(
+    core: CoreKind,
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    structures: &StructureSet,
+    overhead: Fo4,
+    points: &[Fo4],
+) -> DepthSweep {
+    depth_sweep_inner(core, profiles, params, structures, overhead, points, true)
+}
+
+fn depth_sweep_inner(
+    core: CoreKind,
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    structures: &StructureSet,
+    overhead: Fo4,
+    points: &[Fo4],
+    observed: bool,
+) -> DepthSweep {
     let points = points
         .iter()
         .map(|&t| {
             let machine = ScaledMachine::at(structures, t, overhead);
-            let outcomes = run_set(profiles, |p| match core {
-                CoreKind::InOrder => run_inorder(&machine.config, p, params),
-                CoreKind::OutOfOrder => run_ooo(&machine.config, p, params),
+            let outcomes = run_set(profiles, |p| match (core, observed) {
+                (CoreKind::InOrder, false) => run_inorder(&machine.config, p, params),
+                (CoreKind::InOrder, true) => run_inorder_observed(&machine.config, p, params),
+                (CoreKind::OutOfOrder, false) => run_ooo(&machine.config, p, params),
+                (CoreKind::OutOfOrder, true) => run_ooo_observed(&machine.config, p, params),
             });
             SweepPoint {
                 t_useful: t.get(),
@@ -197,6 +230,11 @@ mod tests {
         let s = sweep.series(Some(BenchClass::Integer));
         let at = |t: f64| s.iter().find(|p| p.0 == t).expect("point").1;
         assert!(at(6.0) > at(2.0), "6 FO4 {} vs 2 FO4 {}", at(6.0), at(2.0));
-        assert!(at(6.0) > at(16.0), "6 FO4 {} vs 16 FO4 {}", at(6.0), at(16.0));
+        assert!(
+            at(6.0) > at(16.0),
+            "6 FO4 {} vs 16 FO4 {}",
+            at(6.0),
+            at(16.0)
+        );
     }
 }

@@ -138,7 +138,10 @@ impl ClockPeriod {
     /// Panics if the useful portion is zero (a stage must do *some* work).
     #[must_use]
     pub fn new(useful: Fo4, overhead: Fo4) -> Self {
-        assert!(useful.get() > 0.0, "useful logic per stage must be positive");
+        assert!(
+            useful.get() > 0.0,
+            "useful logic per stage must be positive"
+        );
         Self { useful, overhead }
     }
 
@@ -295,13 +298,21 @@ mod tests {
         // Functional-unit latencies in Alpha-21264 cycles at 17.4 FO4/cycle.
         let alpha = 17.4;
         let fu = [
-            ("int add", 1.0, [9, 6, 5, 4, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2]),
+            (
+                "int add",
+                1.0,
+                [9, 6, 5, 4, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2],
+            ),
             (
                 "int mult",
                 7.0,
                 [61, 41, 31, 25, 21, 18, 16, 14, 13, 12, 11, 10, 9, 9, 8],
             ),
-            ("fp add", 4.0, [35, 24, 18, 14, 12, 10, 9, 8, 7, 7, 6, 6, 5, 5, 5]),
+            (
+                "fp add",
+                4.0,
+                [35, 24, 18, 14, 12, 10, 9, 8, 7, 7, 6, 6, 5, 5, 5],
+            ),
             (
                 "fp div",
                 12.0,

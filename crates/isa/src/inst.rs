@@ -190,7 +190,12 @@ mod tests {
 
     #[test]
     fn constructors_set_expected_fields() {
-        let a = Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+        let a = Instruction::alu(
+            Opcode::Addq,
+            ArchReg::int(1),
+            ArchReg::int(2),
+            ArchReg::int(3),
+        );
         assert_eq!(a.sources(), [Some(ArchReg::int(1)), Some(ArchReg::int(2))]);
         assert_eq!(a.dest, Some(ArchReg::int(3)));
 
@@ -211,8 +216,8 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let ld = Instruction::load(Opcode::Ldq, ArchReg::int(4), ArchReg::int(30), 0x1000)
-            .at_pc(0x120);
+        let ld =
+            Instruction::load(Opcode::Ldq, ArchReg::int(4), ArchReg::int(30), 0x1000).at_pc(0x120);
         let s = ld.to_string();
         assert!(s.contains("ldq"));
         assert!(s.contains("r30"));

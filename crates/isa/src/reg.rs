@@ -43,7 +43,10 @@ impl ArchReg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn int(index: u8) -> Self {
-        assert!(index < NUM_ARCH_REGS_PER_BANK, "register index out of range");
+        assert!(
+            index < NUM_ARCH_REGS_PER_BANK,
+            "register index out of range"
+        );
         Self {
             bank: RegBank::Int,
             index,
@@ -57,7 +60,10 @@ impl ArchReg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn fp(index: u8) -> Self {
-        assert!(index < NUM_ARCH_REGS_PER_BANK, "register index out of range");
+        assert!(
+            index < NUM_ARCH_REGS_PER_BANK,
+            "register index out of range"
+        );
         Self {
             bank: RegBank::Fp,
             index,

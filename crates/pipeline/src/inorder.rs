@@ -16,11 +16,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use fo4depth_isa::{Instruction, OpClass};
-use fo4depth_uarch::branch::{BranchPredictor, Btb};
+use fo4depth_uarch::branch::{BranchPredictor, Btb, BtbStats};
 use fo4depth_uarch::cache::Hierarchy;
 use fo4depth_uarch::fu::{FuClass, FuPool};
+use fo4depth_uarch::observe::{Observer, Structure};
 
 use crate::config::CoreConfig;
+use crate::counters::{Counters, StallCause, ValueKind};
 use crate::ooo::build_predictor;
 use crate::result::SimResult;
 
@@ -37,6 +39,13 @@ struct Queued {
     mispredicted: bool,
 }
 
+/// Observation state, boxed so the unobserved hot path carries one pointer.
+#[derive(Debug)]
+struct Observation {
+    counters: Counters,
+    btb_base: BtbStats,
+}
+
 /// The in-order core.
 #[derive(Debug)]
 pub struct InOrderCore<I: Iterator<Item = Instruction>> {
@@ -51,8 +60,9 @@ pub struct InOrderCore<I: Iterator<Item = Instruction>> {
     /// Last writer (sequence number) of each architectural register, as
     /// seen by fetch (program order).
     last_writer: [Option<u64>; 64],
-    /// Value-ready cycle of issued producers still in flight.
-    value_ready: HashMap<u64, u64>,
+    /// Value-ready cycle (and producer classification, for stall
+    /// attribution) of issued producers still in flight.
+    value_ready: HashMap<u64, (u64, ValueKind)>,
 
     fu: FuPool,
     hierarchy: Hierarchy,
@@ -61,11 +71,16 @@ pub struct InOrderCore<I: Iterator<Item = Instruction>> {
 
     fetch_halted: bool,
     fetch_resume_at: u64,
+    /// Cycle through which empty-queue cycles are mispredict-recovery refill
+    /// rather than ordinary fetch bubbles (resume + front-end depth).
+    recover_until: u64,
     last_issue_cycle: u64,
 
     branches: u64,
     mispredicts: u64,
     loads: u64,
+
+    observation: Option<Box<Observation>>,
 }
 
 impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
@@ -96,11 +111,40 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             value_ready: HashMap::new(),
             fetch_halted: false,
             fetch_resume_at: 0,
+            recover_until: 0,
             last_issue_cycle: 0,
             branches: 0,
             mispredicts: 0,
             loads: 0,
+            observation: None,
         }
+    }
+
+    /// Starts per-cycle counter collection. Observation is read-only with
+    /// respect to the simulation: enabling it never changes timing.
+    pub fn enable_counters(&mut self) {
+        let width = self.cfg.dispatch_width.min(self.fu.budget().total);
+        self.observation = Some(Box::new(Observation {
+            counters: Counters::new(width),
+            btb_base: self.btb.stats(),
+        }));
+    }
+
+    /// Whether counters are being collected.
+    #[must_use]
+    pub fn counters_enabled(&self) -> bool {
+        self.observation.is_some()
+    }
+
+    /// Stops collection and returns the counters accumulated since
+    /// [`enable_counters`](Self::enable_counters), or `None` if observation
+    /// was never enabled.
+    pub fn take_counters(&mut self) -> Option<Counters> {
+        self.observation.take().map(|o| {
+            let mut c = o.counters;
+            c.btb = self.btb.stats().since(&o.btb_base);
+            c
+        })
     }
 
     /// The configuration in use.
@@ -157,7 +201,7 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             // Entries whose value has long materialized behave identically
             // to absent ones (ready at 0): prune to bound the map.
             let now = self.now;
-            self.value_ready.retain(|_, &mut t| t > now);
+            self.value_ready.retain(|_, &mut (t, _)| t > now);
         }
         assert!(
             self.now - self.last_issue_cycle < DEADLOCK_LIMIT,
@@ -171,12 +215,28 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         let mut budget = self.fu.budget();
         // The paper's in-order machine is 4-wide at the issue stage.
         let width = self.cfg.dispatch_width.min(budget.total);
-        for _ in 0..width {
+        let observing = self.observation.is_some();
+        if observing {
+            let occ = self.queue.len();
+            if let Some(o) = self.observation.as_deref_mut() {
+                let sink: &mut dyn Observer = &mut o.counters;
+                sink.occupancy(Structure::Window, occ);
+            }
+        }
+        let mut issued: u32 = 0;
+        let mut stall = None;
+        while issued < width {
             let Some(head) = self.queue.front() else {
-                return;
+                if observing {
+                    stall = Some(self.frontend_cause());
+                }
+                break;
             };
             if head.avail_at > self.now {
-                return;
+                if observing {
+                    stall = Some(self.frontend_cause());
+                }
+                break;
             }
             // Source readiness: all producers issued (they are older, so in
             // order they must have) with values materialized.
@@ -184,17 +244,51 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
                 .producers
                 .iter()
                 .flatten()
-                .all(|p| self.value_ready.get(p).copied().unwrap_or(0) <= self.now);
+                .all(|p| self.value_ready.get(p).map_or(0, |&(t, _)| t) <= self.now);
             if !ready {
-                return; // head-of-line blocking: nothing younger may pass
+                // Head-of-line blocking: nothing younger may pass. Charge
+                // the slots to whatever made the binding producer slow.
+                if observing {
+                    stall = Some(self.head_wait_cause());
+                }
+                break;
             }
             let port = FuClass::for_op(head.inst.op_class()).port();
             if !budget.take(port) {
-                return; // structural stall
+                if observing {
+                    stall = Some(StallCause::FuContention);
+                }
+                break; // structural stall
             }
             let q = self.queue.pop_front().expect("checked front");
             self.execute(q);
+            issued += 1;
         }
+        if let Some(o) = self.observation.as_deref_mut() {
+            o.counters.record_cycle(issued, stall);
+        }
+    }
+
+    /// Why the issue stage sees no available instruction this cycle.
+    fn frontend_cause(&self) -> StallCause {
+        if self.fetch_halted || self.now < self.recover_until {
+            StallCause::MispredictRecovery
+        } else {
+            StallCause::FetchBubble
+        }
+    }
+
+    /// The stall class of the producer that gates the queue head: among its
+    /// still-pending sources, the one whose value materializes last.
+    fn head_wait_cause(&self) -> StallCause {
+        let head = self.queue.front().expect("caller checked head");
+        head.producers
+            .iter()
+            .flatten()
+            .filter_map(|p| self.value_ready.get(p))
+            .filter(|&&(t, _)| t > self.now)
+            .max_by_key(|&&(t, _)| t)
+            .map_or(StallCause::DepChain, |&(_, k)| k.stall())
     }
 
     fn execute(&mut self, q: Queued) {
@@ -203,11 +297,14 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         let mem = match op {
             OpClass::Load => {
                 self.loads += 1;
-                self.hierarchy.access(q.inst.mem_addr.expect("load address"))
+                self.hierarchy
+                    .access(q.inst.mem_addr.expect("load address"))
             }
             OpClass::Store => {
                 // Train the hierarchy; the store buffer hides the latency.
-                let _ = self.hierarchy.access(q.inst.mem_addr.expect("store address"));
+                let _ = self
+                    .hierarchy
+                    .access(q.inst.mem_addr.expect("store address"));
                 0
             }
             _ => 0,
@@ -219,12 +316,27 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             self.now + exec + mem
         };
         if q.inst.dest.is_some() {
-            self.value_ready.insert(q.seq, value_ready);
+            // Classify the producer for stall attribution: loads by the
+            // hierarchy level that served them, everything else by its unit.
+            let h = &self.cfg.hierarchy;
+            let kind = if op == OpClass::Load {
+                if mem <= h.l1_latency {
+                    ValueKind::LoadL1
+                } else if mem <= h.l1_latency + h.l2_latency {
+                    ValueKind::LoadL2
+                } else {
+                    ValueKind::LoadMem
+                }
+            } else {
+                ValueKind::Exec
+            };
+            self.value_ready.insert(q.seq, (value_ready, kind));
         }
         if q.mispredicted {
             let resolve = self.now + self.cfg.depths.regread + exec;
             self.fetch_resume_at = resolve + 1 + self.cfg.redirect_penalty;
             self.fetch_halted = false;
+            self.recover_until = self.fetch_resume_at + self.cfg.depths.front_end();
         }
         self.issued_count += 1;
         self.last_issue_cycle = self.now;
@@ -323,10 +435,8 @@ mod tests {
         let mut ino = InOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p.clone(), 1));
         ino.run(5_000);
         let in_ipc = ino.run(20_000).ipc();
-        let mut ooo = crate::ooo::OutOfOrderCore::new(
-            CoreConfig::alpha_like(),
-            TraceGenerator::new(p, 1),
-        );
+        let mut ooo =
+            crate::ooo::OutOfOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p, 1));
         ooo.run(5_000);
         let oo_ipc = ooo.run(20_000).ipc();
         assert!(
@@ -346,8 +456,13 @@ mod tests {
     fn dependent_chain_paced_by_latency() {
         // Each instruction depends on the previous through r1: IPC ≈ 1.
         let chain = (0..).map(|i| {
-            Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
-                .at_pc(0x1000 + i * 4)
+            Instruction::alu(
+                Opcode::Addq,
+                ArchReg::int(1),
+                ArchReg::int(2),
+                ArchReg::int(1),
+            )
+            .at_pc(0x1000 + i * 4)
         });
         let mut core = InOrderCore::new(CoreConfig::alpha_like(), chain);
         core.run(500);
@@ -362,7 +477,12 @@ mod tests {
         // the 4-wide limit.
         let stream = (0..).map(|i: u64| {
             if i.is_multiple_of(4) {
-                Instruction::alu(Opcode::Mulq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
+                Instruction::alu(
+                    Opcode::Mulq,
+                    ArchReg::int(1),
+                    ArchReg::int(2),
+                    ArchReg::int(1),
+                )
             } else {
                 Instruction::alu(
                     Opcode::Addq,

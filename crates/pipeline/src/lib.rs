@@ -35,11 +35,13 @@
 //! ```
 
 pub mod config;
+pub mod counters;
 pub mod inorder;
 pub mod ooo;
 pub mod result;
 
 pub use config::{CoreConfig, PipelineDepths, PredictorConfig, WindowConfig};
+pub use counters::{Counters, StallCause};
 pub use inorder::InOrderCore;
 pub use ooo::OutOfOrderCore;
 pub use result::SimResult;

@@ -23,10 +23,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use fo4depth_isa::{Instruction, OpClass};
-use fo4depth_uarch::branch::{Bimodal, BranchPredictor, Btb, Gshare, Perceptron, Tournament};
+use fo4depth_uarch::branch::{
+    Bimodal, BranchPredictor, Btb, BtbStats, Gshare, Perceptron, Tournament,
+};
 use fo4depth_uarch::cache::Hierarchy;
 use fo4depth_uarch::fu::{FuClass, FuPool};
 use fo4depth_uarch::lsq::{LoadSource, LoadStoreQueue};
+use fo4depth_uarch::observe::{Observer, Structure};
 use fo4depth_uarch::rename::RenameMap;
 use fo4depth_uarch::rob::ReorderBuffer;
 use fo4depth_uarch::segmented::SegmentedWindow;
@@ -34,6 +37,7 @@ use fo4depth_uarch::speculative::SpeculativeWindow;
 use fo4depth_uarch::window::{ConventionalWindow, WindowEntry, WindowModel};
 
 use crate::config::{CoreConfig, WindowConfig};
+use crate::counters::{Counters, StallCause, ValueKind};
 use crate::result::SimResult;
 
 /// Cycles without a commit after which the core declares itself wedged
@@ -58,7 +62,11 @@ pub(crate) fn build_predictor(cfg: &CoreConfig) -> Box<dyn BranchPredictor + Sen
             local_sites,
             local_history_bits,
             global_entries,
-        } => Box::new(Tournament::new(local_sites, local_history_bits, global_entries)),
+        } => Box::new(Tournament::new(
+            local_sites,
+            local_history_bits,
+            global_entries,
+        )),
         crate::config::PredictorConfig::Bimodal { entries } => Box::new(Bimodal::new(entries)),
         crate::config::PredictorConfig::Gshare { entries } => Box::new(Gshare::new(entries)),
         crate::config::PredictorConfig::Perceptron { rows, history_bits } => {
@@ -89,6 +97,25 @@ enum WaitTag {
 struct WaitState {
     pending: u32,
     acc: u64,
+    /// Kind of the producer currently bounding `acc` (observability only;
+    /// never read by timing decisions).
+    kind: Option<ValueKind>,
+}
+
+/// Per-physical-register value tracking: when the value materializes, who
+/// produced it, and what kind of latency it sat behind.
+#[derive(Debug, Clone, Copy)]
+struct ValueInfo {
+    ready: u64,
+    cluster: u8,
+    kind: ValueKind,
+}
+
+/// Observation state, boxed so the disabled case costs one null check.
+#[derive(Debug)]
+struct Observation {
+    counters: Counters,
+    btb_base: BtbStats,
 }
 
 #[derive(Debug)]
@@ -121,17 +148,28 @@ pub struct OutOfOrderCore<I: Iterator<Item = Instruction>> {
 
     pending: VecDeque<Pending>,
     inflight: HashMap<u64, Inflight>,
-    /// Per physical register: value-ready cycle and producing cluster.
-    value_ready: HashMap<u32, (u64, u8)>,
+    /// Per physical register: value-ready cycle, producing cluster, and
+    /// latency kind.
+    value_ready: HashMap<u32, ValueInfo>,
     unissued: std::collections::HashSet<u32>,
     waiters: HashMap<WaitTag, Vec<u64>>,
     consumers: HashMap<u64, WaitState>,
+    /// Latency kind of the producer bounding each window entry's ready
+    /// time (kept unconditionally — cheap, and keeping it independent of
+    /// observation guarantees observation cannot perturb the simulation).
+    issue_wait: HashMap<u64, ValueKind>,
 
     fetch_halted: bool,
     fetch_resume_at: u64,
+    /// End of the front-end refill after the latest mispredict redirect
+    /// (observability: distinguishes recovery from ordinary fetch bubbles).
+    recover_until: u64,
     /// The as-yet-undispatched branch that fetch is halted on.
     mispredicted_seq: Option<u64>,
     last_commit_cycle: u64,
+
+    /// Issue-slot accounting; `None` keeps the hot path branch-cheap.
+    observation: Option<Box<Observation>>,
 
     /// Length of the issue-wakeup recurrence in cycles (1 = dependents can
     /// go back-to-back).
@@ -205,10 +243,13 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             unissued: std::collections::HashSet::new(),
             waiters: HashMap::new(),
             consumers: HashMap::new(),
+            issue_wait: HashMap::new(),
             fetch_halted: false,
             fetch_resume_at: 0,
+            recover_until: 0,
             mispredicted_seq: None,
             last_commit_cycle: 0,
+            observation: None,
             branches: 0,
             mispredicts: 0,
             loads: 0,
@@ -243,6 +284,31 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             forwards: self.lsq.forward_count(),
             loads: self.loads,
         }
+    }
+
+    /// Starts issue-slot accounting from the next cycle. Call after the
+    /// warm-up interval so the counters cover exactly the measured run.
+    /// Observation never changes simulated outcomes: all state it reads is
+    /// maintained whether or not it is enabled.
+    pub fn enable_counters(&mut self) {
+        self.observation = Some(Box::new(Observation {
+            counters: Counters::new(self.fu.budget().total),
+            btb_base: self.btb.stats(),
+        }));
+    }
+
+    /// Whether issue-slot accounting is active.
+    #[must_use]
+    pub fn counters_enabled(&self) -> bool {
+        self.observation.is_some()
+    }
+
+    /// Stops accounting and returns the block (None if never enabled).
+    pub fn take_counters(&mut self) -> Option<Counters> {
+        self.observation.take().map(|mut o| {
+            o.counters.btb = self.btb.stats().since(&o.btb_base);
+            o.counters
+        })
     }
 
     /// Runs until `instructions` more have committed; returns the counters
@@ -305,10 +371,112 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
 
     fn issue(&mut self) {
         let mut budget = self.fu.budget();
+        let width = budget.total;
+        if self.observation.is_some() {
+            self.record_occupancy();
+        }
         let selected = self.window.select(self.now, &mut budget);
+        if self.observation.is_some() {
+            let issued = selected.len() as u32;
+            // Classification reads post-select window state: leftover
+            // visible-ready entries mean the lost slots were arbitration
+            // losses, not dependency waits.
+            let stall = (issued < width).then(|| self.issue_stall_cause());
+            if let Some(o) = self.observation.as_deref_mut() {
+                o.counters.record_cycle(issued, stall);
+            }
+        }
         for entry in selected {
             self.execute(entry);
         }
+    }
+
+    /// Informational cycle counter: dispatch hit a structural wall this
+    /// cycle. Charged at most once per cycle per resource; distinct from the
+    /// issue-slot attribution, which only blames the back-pressure once the
+    /// window has drained.
+    fn note_dispatch_block(&mut self, cause: StallCause) {
+        if let Some(o) = self.observation.as_deref_mut() {
+            match cause {
+                StallCause::RobFull => o.counters.dispatch_blocked_rob += 1,
+                StallCause::WindowFull => o.counters.dispatch_blocked_window += 1,
+                StallCause::LsqFull => o.counters.dispatch_blocked_lsq += 1,
+                StallCause::RenameFull => o.counters.dispatch_blocked_rename += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn record_occupancy(&mut self) {
+        let window = self.window.len();
+        let rob = self.rob.len();
+        let (loads, stores) = self.lsq.occupancy();
+        if let Some(o) = self.observation.as_deref_mut() {
+            let sink: &mut dyn Observer = &mut o.counters;
+            sink.occupancy(Structure::Window, window);
+            sink.occupancy(Structure::Rob, rob);
+            sink.occupancy(Structure::Lsq, loads + stores);
+        }
+    }
+
+    /// The dominant reason this cycle's issue stage left slots empty.
+    /// Priority ladder: ready-but-unselected work (contention) beats
+    /// dependency waits beats dispatch resource blocks beats front-end
+    /// starvation — matching how a performance engineer reads a CPI stack
+    /// inward from the issue stage.
+    fn issue_stall_cause(&self) -> StallCause {
+        if self.window.visible_ready(self.now) > 0 {
+            return StallCause::FuContention;
+        }
+        if let Some(oldest) = self.window.oldest_waiting(self.now) {
+            if oldest.ready_at <= self.now {
+                // The value exists but the scheduler has not surfaced it:
+                // multi-cycle wakeup, segmented staging, or a speculative
+                // replay — all forms of the issue–wakeup loop.
+                return StallCause::WakeupWait;
+            }
+            if let Some(state) = self.consumers.get(&oldest.seq) {
+                return state.kind.map_or(StallCause::DepChain, ValueKind::stall);
+            }
+            return self
+                .issue_wait
+                .get(&oldest.seq)
+                .copied()
+                .map_or(StallCause::DepChain, ValueKind::stall);
+        }
+        // Window empty: the back end is starved. Blame dispatch resources
+        // if dispatch has work it cannot place, else the front end.
+        if let Some(front) = self.pending.front() {
+            if front.avail_at <= self.now {
+                if !self.rob.has_space() {
+                    return StallCause::RobFull;
+                }
+                if !self.window.has_space() {
+                    return StallCause::WindowFull;
+                }
+                let op = front.inst.op_class();
+                if op.is_memory() {
+                    let ok = if op == OpClass::Load {
+                        self.lsq.has_load_space()
+                    } else {
+                        self.lsq.has_store_space()
+                    };
+                    if !ok {
+                        return StallCause::LsqFull;
+                    }
+                }
+                if self.rename.free_count() == 0 {
+                    return StallCause::RenameFull;
+                }
+                // Dispatch will place it later this cycle; the issue stage
+                // is one stage behind the refill (pipeline-fill bubble).
+                return StallCause::FetchBubble;
+            }
+        }
+        if self.fetch_halted || self.now < self.recover_until {
+            return StallCause::MispredictRecovery;
+        }
+        StallCause::FetchBubble
     }
 
     fn execute(&mut self, entry: WindowEntry) {
@@ -316,8 +484,12 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         let info = *self.inflight.get(&seq).expect("issued unknown instruction");
         let exec = self.cfg.exec.of(info.op).max(1);
         let now = self.now;
+        self.issue_wait.remove(&seq);
 
-        // Memory time on top of address generation.
+        // Memory time on top of address generation. For loads, also note
+        // which level of the hierarchy (or the forwarding path) served the
+        // value — consumers stalled behind it are attributed to that level.
+        let mut load_kind = ValueKind::LoadL1;
         let mem = match info.op {
             OpClass::Load => {
                 self.loads += 1;
@@ -328,18 +500,26 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                         // architecturally visible (ready now). Data comes
                         // from the store queue one cycle after both the load
                         // has issued and the store data is up.
-                        let data_ready =
-                            self.lsq.store_data_ready(store_seq).unwrap_or(now);
+                        let data_ready = self.lsq.store_data_ready(store_seq).unwrap_or(now);
                         assert!(
                             data_ready != u64::MAX,
                             "load issued before forwarding store executed"
                         );
+                        load_kind = ValueKind::StoreForward;
                         data_ready.saturating_sub(now) + 1
                     }
                     LoadSource::Cache => {
                         let addr = info.mem_addr.expect("load without address");
                         let latency = self.hierarchy.access(addr);
-                        if latency > self.cfg.hierarchy.l1_latency {
+                        let h = &self.cfg.hierarchy;
+                        load_kind = if latency <= h.l1_latency {
+                            ValueKind::LoadL1
+                        } else if latency <= h.l1_latency + h.l2_latency {
+                            ValueKind::LoadL2
+                        } else {
+                            ValueKind::LoadMem
+                        };
+                        if latency > h.l1_latency {
                             // An L1 miss occupies a miss-status register
                             // until it completes; a full MSHR file delays
                             // the new miss until the earliest one retires.
@@ -358,21 +538,45 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         // latency — address generation is the first stage of the cache
         // pipeline, not an extra adder in front of it (§4.6's load-use loop
         // equals the DL1 access time).
-        let op_latency = if info.op == OpClass::Load { mem } else { exec + mem };
+        let op_latency = if info.op == OpClass::Load {
+            mem
+        } else {
+            exec + mem
+        };
         let value_ready = now + op_latency.max(self.wakeup_loop);
         let complete = now + self.cfg.depths.regread + op_latency;
+        let kind = if info.op == OpClass::Load {
+            load_kind
+        } else if self.wakeup_loop > op_latency {
+            // The wakeup recurrence, not the unit, bounds the consumer.
+            ValueKind::Wakeup
+        } else {
+            ValueKind::Exec
+        };
 
         if let Some(dest) = info.dest {
             self.unissued.remove(&dest);
-            self.value_ready.insert(dest, (value_ready, info.cluster));
-            self.wake(WaitTag::Reg(dest), value_ready, info.cluster);
+            self.value_ready.insert(
+                dest,
+                ValueInfo {
+                    ready: value_ready,
+                    cluster: info.cluster,
+                    kind,
+                },
+            );
+            self.wake(WaitTag::Reg(dest), value_ready, info.cluster, kind);
         }
         if info.op == OpClass::Store {
             let data_ready = now + exec;
             self.lsq.store_executed(seq, data_ready);
             // Store data forwards through the LSQ, not the bypass network:
             // no cluster adjustment.
-            self.wake(WaitTag::Store(seq), data_ready, u8::MAX);
+            self.wake(
+                WaitTag::Store(seq),
+                data_ready,
+                u8::MAX,
+                ValueKind::StoreForward,
+            );
         }
         if info.mispredicted {
             // Fetch resumes after resolve plus the redirect penalty; the
@@ -380,6 +584,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             // flow through the fetch/decode/rename depths.
             self.fetch_resume_at = complete + 1 + self.cfg.redirect_penalty;
             self.fetch_halted = false;
+            self.recover_until = self.fetch_resume_at + self.cfg.depths.front_end();
         }
         self.rob.complete(seq, complete);
     }
@@ -413,7 +618,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     /// Wakes consumers of `tag`. `producer_cluster` is `u8::MAX` for
     /// non-bypass sources (store forwarding), which never pay the
     /// cross-cluster penalty.
-    fn wake(&mut self, tag: WaitTag, ready: u64, producer_cluster: u8) {
+    fn wake(&mut self, tag: WaitTag, ready: u64, producer_cluster: u8, kind: ValueKind) {
         let Some(waiting) = self.waiters.remove(&tag) else {
             return;
         };
@@ -426,11 +631,18 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 && producer_cluster != u8::MAX
                 && producer_cluster != (consumer % 2) as u8;
             let ready = if cross { ready + penalty } else { ready };
-            state.acc = state.acc.max(ready);
+            if ready > state.acc {
+                state.acc = ready;
+                state.kind = Some(kind);
+            }
             state.pending -= 1;
             if state.pending == 0 {
                 let acc = state.acc;
+                let blocking = state.kind;
                 self.consumers.remove(&consumer);
+                if let Some(k) = blocking {
+                    self.issue_wait.insert(consumer, k);
+                }
                 self.window.set_ready(consumer, acc);
             }
         }
@@ -443,7 +655,15 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             let Some(front) = self.pending.front() else {
                 return;
             };
-            if front.avail_at > self.now || !self.rob.has_space() || !self.window.has_space() {
+            if front.avail_at > self.now {
+                return;
+            }
+            if !self.rob.has_space() {
+                self.note_dispatch_block(StallCause::RobFull);
+                return;
+            }
+            if !self.window.has_space() {
+                self.note_dispatch_block(StallCause::WindowFull);
                 return;
             }
             let is_mem = front.inst.op_class().is_memory();
@@ -453,10 +673,12 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                     _ => self.lsq.has_store_space(),
                 };
                 if !ok {
+                    self.note_dispatch_block(StallCause::LsqFull);
                     return;
                 }
             }
             if self.rename.free_count() == 0 {
+                self.note_dispatch_block(StallCause::RenameFull);
                 return;
             }
             let p = self.pending.pop_front().expect("checked front");
@@ -472,13 +694,19 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         let mut state = WaitState {
             pending: 0,
             acc: self.now,
+            kind: None,
         };
         let track = |tag: WaitTag,
-                         ready: Option<u64>,
-                         state: &mut WaitState,
-                         waiters: &mut HashMap<WaitTag, Vec<u64>>| {
+                     ready: Option<(u64, ValueKind)>,
+                     state: &mut WaitState,
+                     waiters: &mut HashMap<WaitTag, Vec<u64>>| {
             match ready {
-                Some(t) => state.acc = state.acc.max(t),
+                Some((t, k)) => {
+                    if t > state.acc {
+                        state.acc = t;
+                        state.kind = Some(k);
+                    }
+                }
                 None => {
                     state.pending += 1;
                     waiters.entry(tag).or_default().push(seq);
@@ -494,17 +722,25 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             if self.unissued.contains(&phys) {
                 track(WaitTag::Reg(phys), None, &mut state, &mut self.waiters);
             } else {
-                let (t, producer_cluster) =
-                    self.value_ready.get(&phys).copied().unwrap_or((0, u8::MAX));
+                let info = self.value_ready.get(&phys).copied().unwrap_or(ValueInfo {
+                    ready: 0,
+                    cluster: u8::MAX,
+                    kind: ValueKind::Exec,
+                });
                 let cross = self.cfg.cross_cluster_penalty > 0
-                    && producer_cluster != u8::MAX
-                    && producer_cluster != my_cluster;
+                    && info.cluster != u8::MAX
+                    && info.cluster != my_cluster;
                 let t = if cross {
-                    t + self.cfg.cross_cluster_penalty
+                    info.ready + self.cfg.cross_cluster_penalty
                 } else {
-                    t
+                    info.ready
                 };
-                track(WaitTag::Reg(phys), Some(t), &mut state, &mut self.waiters);
+                track(
+                    WaitTag::Reg(phys),
+                    Some((t, info.kind)),
+                    &mut state,
+                    &mut self.waiters,
+                );
             }
         }
 
@@ -541,10 +777,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         let (dest, old) = match inst.dest {
             Some(d) => {
                 let old = self.rename.current(d);
-                let new = self
-                    .rename
-                    .rename_dest(d)
-                    .expect("free register checked");
+                let new = self.rename.rename_dest(d).expect("free register checked");
                 self.unissued.insert(new);
                 (Some(new), Some(old))
             }
@@ -569,6 +802,9 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         );
 
         let ready_at = if state.pending == 0 {
+            if let Some(k) = state.kind {
+                self.issue_wait.insert(seq, k);
+            }
             state.acc
         } else {
             self.consumers.insert(seq, state);
@@ -684,8 +920,7 @@ mod tests {
         // Longer warm-up than the default harness: gcc's 2 K static branch
         // sites take a while to train out of compulsory BTB misses.
         let p = profiles::by_name("176.gcc").unwrap();
-        let mut core =
-            OutOfOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p, 1));
+        let mut core = OutOfOrderCore::new(CoreConfig::alpha_like(), TraceGenerator::new(p, 1));
         core.run(60_000);
         let r = core.run(60_000);
         let rate = r.mispredict_rate();
@@ -704,8 +939,7 @@ mod tests {
         let p = profiles::by_name("176.gcc").unwrap();
         let mut cfg = CoreConfig::alpha_like();
         let base = {
-            let mut c =
-                OutOfOrderCore::new(cfg.clone(), TraceGenerator::new(p.clone(), 1));
+            let mut c = OutOfOrderCore::new(cfg.clone(), TraceGenerator::new(p.clone(), 1));
             c.run(5_000);
             c.run(20_000).ipc()
         };
@@ -788,7 +1022,10 @@ mod tests {
             "clustering must cost: {clustered} vs {unified}"
         );
         // The 21264 lived with this penalty: the loss is percent-scale.
-        assert!(clustered > unified * 0.80, "loss too large: {clustered} vs {unified}");
+        assert!(
+            clustered > unified * 0.80,
+            "loss too large: {clustered} vs {unified}"
+        );
     }
 
     #[test]
@@ -808,8 +1045,13 @@ mod tests {
     fn hand_built_dependent_chain_serializes() {
         // A chain of dependent adds can never exceed IPC 1.
         let chain = (0..).map(|i| {
-            Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(1), ArchReg::int(1))
-                .at_pc(0x1000 + i * 4)
+            Instruction::alu(
+                Opcode::Addq,
+                ArchReg::int(1),
+                ArchReg::int(1),
+                ArchReg::int(1),
+            )
+            .at_pc(0x1000 + i * 4)
         });
         let mut core = OutOfOrderCore::new(CoreConfig::alpha_like(), chain);
         core.run(1_000);

@@ -92,7 +92,10 @@ mod tests {
             cycles,
             branches: 10,
             mispredicts: 1,
-            l1: CacheStats { hits: 90, misses: 10 },
+            l1: CacheStats {
+                hits: 90,
+                misses: 10,
+            },
             l2: CacheStats { hits: 5, misses: 5 },
             forwards: 3,
             loads: 100,

@@ -56,7 +56,10 @@ impl Bimodal {
     /// Panics if `entries` is not a nonzero power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Self {
             table: vec![1; entries], // weakly not-taken
         }
@@ -95,7 +98,10 @@ impl Gshare {
     /// Panics if `entries` is not a nonzero power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Self {
             table: vec![1; entries],
             history: 0,
@@ -259,7 +265,6 @@ impl BranchPredictor for Tournament {
     }
 }
 
-
 /// Perceptron predictor (Jiménez & Lin, HPCA 2001) — contemporaneous with
 /// the paper and the natural "what if the predictor were better?"
 /// ablation for the pipeline-depth study: deeper pipelines pay more per
@@ -340,6 +345,39 @@ impl BranchPredictor for Perceptron {
 pub struct Btb {
     tags: Vec<u64>,
     targets: Vec<u64>,
+    stats: BtbStats,
+}
+
+/// Cumulative BTB counters (always on — the counting is two adds on a path
+/// that already does a tag compare).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbStats {
+    /// Target lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a matching tag (target correctness is the
+    /// caller's comparison; this is presence only).
+    pub hits: u64,
+}
+
+impl BtbStats {
+    /// Tag hit rate (0 when no lookups happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Counters accumulated since `earlier` (an interval delta).
+    #[must_use]
+    pub fn since(&self, earlier: &BtbStats) -> BtbStats {
+        BtbStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+        }
+    }
 }
 
 impl Btb {
@@ -354,6 +392,7 @@ impl Btb {
         Self {
             tags: vec![u64::MAX; entries],
             targets: vec![0; entries],
+            stats: BtbStats::default(),
         }
     }
 
@@ -363,9 +402,18 @@ impl Btb {
 
     /// Returns the predicted target for `pc`, if the BTB holds one.
     #[must_use]
-    pub fn lookup(&self, pc: u64) -> Option<u64> {
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
         let i = self.index(pc);
-        (self.tags[i] == pc).then_some(self.targets[i])
+        self.stats.lookups += 1;
+        let hit = self.tags[i] == pc;
+        self.stats.hits += u64::from(hit);
+        hit.then_some(self.targets[i])
+    }
+
+    /// Cumulative lookup counters.
+    #[must_use]
+    pub fn stats(&self) -> BtbStats {
+        self.stats
     }
 
     /// Installs or refreshes the mapping `pc → target`.
@@ -397,7 +445,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let site = rng.next_range(sites as u64);
-                let p = if site.is_multiple_of(2) { bias } else { 1.0 - bias };
+                let p = if site.is_multiple_of(2) {
+                    bias
+                } else {
+                    1.0 - bias
+                };
                 (0x1000 + site * 4, rng.next_bool(p))
             })
             .collect()
@@ -446,7 +498,10 @@ mod tests {
         let mut b = Bimodal::new(4096);
         let acc_b = accuracy(&mut b, &stream);
         assert!(acc_t > 0.88, "tournament accuracy {acc_t}");
-        assert!(acc_t + 0.02 > acc_b, "tournament {acc_t} vs bimodal {acc_b}");
+        assert!(
+            acc_t + 0.02 > acc_b,
+            "tournament {acc_t} vs bimodal {acc_b}"
+        );
     }
 
     #[test]
@@ -487,6 +542,17 @@ mod tests {
         let collide = 0x4000 + 512 * 4;
         btb.update(collide, 0x6000);
         assert_eq!(btb.lookup(0x4000), None);
+        let s = btb.stats();
+        assert_eq!((s.lookups, s.hits), (3, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            s.since(&BtbStats {
+                lookups: 1,
+                hits: 0
+            })
+            .lookups,
+            2
+        );
     }
 
     #[test]

@@ -202,9 +202,7 @@ impl Hierarchy {
                     if l2.access(addr) {
                         self.config.l1_latency + self.config.l2_latency
                     } else {
-                        self.config.l1_latency
-                            + self.config.l2_latency
-                            + self.config.memory_latency
+                        self.config.l1_latency + self.config.l2_latency + self.config.memory_latency
                     }
                 } else {
                     self.config.l1_latency + self.config.memory_latency

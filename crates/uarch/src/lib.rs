@@ -18,6 +18,8 @@
 //! * [`speculative`] — the grandparent-wakeup pipelined scheduler of
 //!   Stark, Brown & Patt, the §6 point of comparison.
 //! * [`lsq`] — load/store queue with store-to-load forwarding.
+//! * [`observe`] — the observation plumbing: occupancy histograms and the
+//!   `Observer` sink trait the cores stream per-cycle samples into.
 //! * [`fu`] — functional-unit pool with per-class issue slots and
 //!   latencies.
 //!
@@ -29,16 +31,20 @@ pub mod branch;
 pub mod cache;
 pub mod fu;
 pub mod lsq;
+pub mod observe;
 pub mod rename;
 pub mod rob;
 pub mod segmented;
 pub mod speculative;
 pub mod window;
 
-pub use branch::{Bimodal, BranchPredictor, Btb, Gshare, LocalTwoLevel, Perceptron, Tournament};
+pub use branch::{
+    Bimodal, BranchPredictor, Btb, BtbStats, Gshare, LocalTwoLevel, Perceptron, Tournament,
+};
 pub use cache::{Cache, CacheStats, Hierarchy, HierarchyConfig};
 pub use fu::{FuClass, FuPool, FuPoolConfig};
 pub use lsq::LoadStoreQueue;
+pub use observe::{Observer, OccupancyHist, Structure};
 pub use rename::{RenameMap, RenameStall};
 pub use rob::{ReorderBuffer, RobEntry};
 pub use segmented::{SegmentedWindow, SelectMode};

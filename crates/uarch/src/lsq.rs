@@ -154,7 +154,10 @@ impl LoadStoreQueue {
     /// if it already retired (its data is then architecturally visible).
     #[must_use]
     pub fn store_data_ready(&self, seq: u64) -> Option<u64> {
-        self.stores.iter().find(|s| s.seq == seq).map(|s| s.data_ready)
+        self.stores
+            .iter()
+            .find(|s| s.seq == seq)
+            .map(|s| s.data_ready)
     }
 
     /// Records that the store numbered `seq` has executed and its data is
@@ -198,11 +201,17 @@ mod tests {
         lsq.insert_store(4, 0x2000, 3).unwrap();
         assert_eq!(
             lsq.load_source(3, 0x1000),
-            LoadSource::Forward { store_seq: 2, data_ready: 9 }
+            LoadSource::Forward {
+                store_seq: 2,
+                data_ready: 9
+            }
         );
         assert_eq!(
             lsq.load_source(1, 0x1000),
-            LoadSource::Forward { store_seq: 0, data_ready: 5 }
+            LoadSource::Forward {
+                store_seq: 0,
+                data_ready: 5
+            }
         );
         assert_eq!(lsq.load_source(5, 0x3000), LoadSource::Cache);
         assert_eq!(lsq.forward_count(), 2);
@@ -234,12 +243,18 @@ mod tests {
         lsq.insert_store(0, 0x1000, u64::MAX).unwrap();
         assert_eq!(
             lsq.load_source(1, 0x1000),
-            LoadSource::Forward { store_seq: 0, data_ready: u64::MAX }
+            LoadSource::Forward {
+                store_seq: 0,
+                data_ready: u64::MAX
+            }
         );
         lsq.store_executed(0, 42);
         assert_eq!(
             lsq.load_source(1, 0x1000),
-            LoadSource::Forward { store_seq: 0, data_ready: 42 }
+            LoadSource::Forward {
+                store_seq: 0,
+                data_ready: 42
+            }
         );
     }
 

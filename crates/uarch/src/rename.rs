@@ -67,7 +67,10 @@ impl RenameMap {
     /// register, or dispatch could never proceed).
     #[must_use]
     pub fn new(phys_regs: u32) -> Self {
-        assert!(phys_regs >= 65, "need more physical than architectural registers");
+        assert!(
+            phys_regs >= 65,
+            "need more physical than architectural registers"
+        );
         Self {
             map: (0..64).collect(),
             free: (64..phys_regs).rev().collect(),

@@ -123,6 +123,20 @@ impl SegmentedWindow {
         let e = &self.entries[position];
         e.ready_at.saturating_add(self.stage_of(position) as u64)
     }
+
+    /// Observation: whether the entry at `position` asserts readiness to
+    /// the (final) select block at `now`, ignoring pre-select quotas —
+    /// quota losers are arbitration victims, which the observing core
+    /// charges as contention rather than dependency wait.
+    fn select_visible(&self, position: usize, now: u64) -> bool {
+        match &self.mode {
+            SelectMode::Ideal => self.perceived_ready(position) <= now,
+            SelectMode::PreSelect { .. } => {
+                let extra = u64::from(self.stage_of(position) != 0);
+                self.perceived_ready(position).saturating_add(extra) <= now
+            }
+        }
+    }
 }
 
 impl WindowModel for SegmentedWindow {
@@ -208,6 +222,18 @@ impl WindowModel for SegmentedWindow {
         }
         out
     }
+
+    fn visible_ready(&self, now: u64) -> usize {
+        (0..self.entries.len())
+            .filter(|&pos| self.select_visible(pos, now))
+            .count()
+    }
+
+    fn oldest_waiting(&self, now: u64) -> Option<WindowEntry> {
+        (0..self.entries.len())
+            .find(|&pos| !self.select_visible(pos, now))
+            .map(|pos| self.entries[pos])
+    }
 }
 
 #[cfg(test)]
@@ -266,11 +292,7 @@ mod tests {
     #[test]
     fn preselect_quotas_limit_non_first_stages() {
         // 8 entries, 2 stages of 4, quota 1 for stage 1.
-        let mut w = SegmentedWindow::new(
-            8,
-            2,
-            SelectMode::PreSelect { quotas: vec![1] },
-        );
+        let mut w = SegmentedWindow::new(8, 2, SelectMode::PreSelect { quotas: vec![1] });
         // Fill stage 0 with never-ready entries, stage 1 with ready ones.
         for s in 0..4 {
             w.insert(entry(s, 1000));
@@ -319,10 +341,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one quota per non-first stage")]
     fn rejects_wrong_quota_count() {
-        let _ = SegmentedWindow::new(
-            8,
-            4,
-            SelectMode::PreSelect { quotas: vec![1] },
-        );
+        let _ = SegmentedWindow::new(8, 4, SelectMode::PreSelect { quotas: vec![1] });
     }
 }

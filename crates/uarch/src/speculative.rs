@@ -161,6 +161,23 @@ impl WindowModel for SpeculativeWindow {
         }
         out
     }
+
+    fn visible_ready(&self, now: u64) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.entry.ready_at <= now && e.reschedule_at <= now)
+            .count()
+    }
+
+    fn oldest_waiting(&self, now: u64) -> Option<WindowEntry> {
+        // A reschedule-delayed victim reports its raw `ready_at`: the core
+        // sees a value-ready-but-invisible entry and charges the wait to
+        // the scheduler loop, which is what a replay delay is.
+        self.entries
+            .iter()
+            .find(|e| e.entry.ready_at > now || e.reschedule_at > now)
+            .map(|e| e.entry)
+    }
 }
 
 #[cfg(test)]

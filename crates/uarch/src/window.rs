@@ -112,6 +112,19 @@ pub trait WindowModel: std::fmt::Debug {
     /// wake them when the last producer schedules). No-op if `seq` is not
     /// present (it may have been inserted already-ready).
     fn set_ready(&mut self, seq: u64, ready_at: u64);
+
+    /// Observation: entries whose readiness is *visible to select* at
+    /// `now` — they could issue this cycle if a port were free. Called
+    /// after [`select`](Self::select), a nonzero count means ready work
+    /// lost the issue-bandwidth arbitration (a structural stall). Never
+    /// called on the simulated hot path when observation is off.
+    fn visible_ready(&self, now: u64) -> usize;
+
+    /// Observation: the oldest entry whose readiness is *not* visible to
+    /// select at `now`. Its `ready_at` lets the core distinguish a true
+    /// dependency wait (`ready_at > now`) from in-window staging delay
+    /// (broadcast arrived but the wakeup pipeline has not surfaced it).
+    fn oldest_waiting(&self, now: u64) -> Option<WindowEntry>;
 }
 
 /// A conventional (monolithic) issue window.
@@ -201,6 +214,22 @@ impl WindowModel for ConventionalWindow {
             }
         }
         out
+    }
+
+    fn visible_ready(&self, now: u64) -> usize {
+        let wake = self.wakeup_latency - 1;
+        self.entries
+            .iter()
+            .filter(|e| e.ready_at.saturating_add(wake) <= now)
+            .count()
+    }
+
+    fn oldest_waiting(&self, now: u64) -> Option<WindowEntry> {
+        let wake = self.wakeup_latency - 1;
+        self.entries
+            .iter()
+            .find(|e| e.ready_at.saturating_add(wake) > now)
+            .copied()
     }
 }
 

@@ -28,9 +28,11 @@
 //! ```
 
 pub mod dist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use dist::{Discrete, Geometric, Zipf};
+pub use json::{Json, JsonError};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 pub use stats::{harmonic_mean, Histogram, RunningStats};

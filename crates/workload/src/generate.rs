@@ -211,7 +211,8 @@ impl TraceGenerator {
     /// A recent integer-load destination, if any (for pointer chasing).
     fn recent_load_dest(&mut self) -> Option<ArchReg> {
         let pick = self.rng.next_range(self.recent_load_dests.len() as u64) as usize;
-        self.recent_load_dests[pick].or_else(|| self.recent_load_dests.iter().flatten().next().copied())
+        self.recent_load_dests[pick]
+            .or_else(|| self.recent_load_dests.iter().flatten().next().copied())
     }
 
     fn push_recent(&mut self, dest: Option<ArchReg>) {

@@ -18,8 +18,13 @@ use fo4depth_isa::{ArchReg, Instruction, Opcode};
 /// reciprocal of the ALU latency.
 pub fn dependent_chain() -> impl Iterator<Item = Instruction> {
     (0u64..).map(|i| {
-        Instruction::alu(Opcode::Addq, ArchReg::int(1), ArchReg::int(2), ArchReg::int(1))
-            .at_pc(0x1000 + i * 4)
+        Instruction::alu(
+            Opcode::Addq,
+            ArchReg::int(1),
+            ArchReg::int(2),
+            ArchReg::int(1),
+        )
+        .at_pc(0x1000 + i * 4)
     })
 }
 
@@ -112,9 +117,9 @@ mod tests {
         assert!(independent_alu()
             .take(10)
             .all(|i| i.op_class() == OpClass::IntAlu));
-        assert!(pointer_chase().take(10).all(|i| {
-            i.op_class() == OpClass::Load && i.dest == i.src1
-        }));
+        assert!(pointer_chase()
+            .take(10)
+            .all(|i| { i.op_class() == OpClass::Load && i.dest == i.src1 }));
         assert!(fp_chain().take(10).all(|i| i.op_class().is_fp()));
     }
 

@@ -49,4 +49,4 @@ pub mod traceio;
 pub use generate::TraceGenerator;
 pub use profile::{BenchClass, BenchProfile, BranchModel, MemoryModel, OpMix};
 pub use stats::TraceStats;
-pub use traceio::{TraceReader, record};
+pub use traceio::{record, TraceReader};

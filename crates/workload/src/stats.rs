@@ -140,10 +140,7 @@ mod tests {
     fn integer_dependencies_shorter_than_vector() {
         let int = stats_for("164.gzip", 20_000).mean_dep_distance();
         let vec = stats_for("171.swim", 20_000).mean_dep_distance();
-        assert!(
-            int < vec,
-            "integer distance {int} should be < vector {vec}"
-        );
+        assert!(int < vec, "integer distance {int} should be < vector {vec}");
     }
 
     #[test]

@@ -300,8 +300,7 @@ mod tests {
         let original: Vec<Instruction> = TraceGenerator::new(p, 7).take(20_000).collect();
         let mut buf = Vec::new();
         record(original.iter().copied(), 20_000, &mut buf).unwrap();
-        let replay: Vec<Instruction> =
-            TraceReader::new(std::io::Cursor::new(buf)).collect();
+        let replay: Vec<Instruction> = TraceReader::new(std::io::Cursor::new(buf)).collect();
         assert_eq!(original, replay);
     }
 }

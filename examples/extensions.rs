@@ -9,11 +9,11 @@ use fo4depth::study::ablation::{
     cluster_ablation, memory_convention_ablation, mshr_ablation, predictor_ablation,
     scheduler_comparison,
 };
+use fo4depth::study::latency::StructureSet;
 use fo4depth::study::power::{optimum_by, power_sweep, EnergyModel};
 use fo4depth::study::projection::{pipelining_headroom, project, ProjectionInputs};
 use fo4depth::study::sim::SimParams;
 use fo4depth::study::sweep::{depth_sweep_with, CoreKind};
-use fo4depth::study::latency::StructureSet;
 use fo4depth::study::wires::wire_study;
 use fo4depth::workload::{profiles, BenchClass};
 use fo4depth_fo4::Fo4;
@@ -41,7 +41,10 @@ fn main() {
     }
 
     println!("\n== §7: wire-delay study (front-end transport budget) ==\n");
-    let points: Vec<Fo4> = [3.0, 4.0, 6.0, 9.0, 12.0].into_iter().map(Fo4::new).collect();
+    let points: Vec<Fo4> = [3.0, 4.0, 6.0, 9.0, 12.0]
+        .into_iter()
+        .map(Fo4::new)
+        .collect();
     for c in wire_study(&subset, &params, &points, &[0.0, 10.0, 20.0, 40.0]) {
         let (opt, bips) = c.sweep.class_optimum(BenchClass::Integer);
         println!(
@@ -84,7 +87,10 @@ fn main() {
     }
 
     println!("\n== extension: power-aware pipeline depth ==\n");
-    let pw_points: Vec<Fo4> = [2.0, 4.0, 6.0, 9.0, 12.0, 16.0].into_iter().map(Fo4::new).collect();
+    let pw_points: Vec<Fo4> = [2.0, 4.0, 6.0, 9.0, 12.0, 16.0]
+        .into_iter()
+        .map(Fo4::new)
+        .collect();
     let pw = power_sweep(&subset, &params, &pw_points, &EnergyModel::alpha_100nm());
     println!("  t_useful   BIPS    watts   nJ/instr  BIPS/W");
     for p in &pw {

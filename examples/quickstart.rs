@@ -23,7 +23,10 @@ fn main() {
         seed: 1,
     };
 
-    println!("Sweeping t_useful = 2..16 FO4 over {} benchmarks...\n", profiles::all().len());
+    println!(
+        "Sweeping t_useful = 2..16 FO4 over {} benchmarks...\n",
+        profiles::all().len()
+    );
     let sweep = depth_sweep(CoreKind::OutOfOrder, &profiles::all(), &params);
 
     println!("{}", render::sweep_table(&sweep));
@@ -40,10 +43,13 @@ fn main() {
         );
     }
     println!();
-    println!("{}", render::ascii_plot(
-        "Integer BIPS vs useful logic per stage (FO4)",
-        &sweep.series(Some(BenchClass::Integer)),
-        10,
-    ));
+    println!(
+        "{}",
+        render::ascii_plot(
+            "Integer BIPS vs useful logic per stage (FO4)",
+            &sweep.series(Some(BenchClass::Integer)),
+            10,
+        )
+    );
     println!("Paper (ISCA 2002): integer 6 FO4, vector FP 4 FO4, non-vector FP 5 FO4.");
 }

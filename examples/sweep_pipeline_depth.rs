@@ -58,7 +58,10 @@ fn main() {
     }
 
     println!("\n§4.2: the same benchmark against CRAY-1S-style flat memory:\n");
-    let points: Vec<Fo4> = [4.0, 6.0, 8.0, 11.0, 14.0].into_iter().map(Fo4::new).collect();
+    let points: Vec<Fo4> = [4.0, 6.0, 8.0, 11.0, 14.0]
+        .into_iter()
+        .map(Fo4::new)
+        .collect();
     let sweep = cray_memory_sweep_with(std::slice::from_ref(&profile), &params, &points);
     for p in &sweep.points {
         let bips = p.outcomes[0].result.bips(p.period_ps);

@@ -9,6 +9,7 @@
 //! fo4depth validate                             # workload calibration table
 //! fo4depth floorplan                            # areas and wire distances
 //! fo4depth experiments                          # the paper's experiment registry
+//! fo4depth report --quick                       # machine-readable JSON run report
 //! ```
 
 use std::io::BufReader;
@@ -19,6 +20,7 @@ use fo4depth::study::experiments::registry;
 use fo4depth::study::floorplan::Floorplan;
 use fo4depth::study::latency::{table3, StructureSet};
 use fo4depth::study::render;
+use fo4depth::study::report;
 use fo4depth::study::scaler::ScaledMachine;
 use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
 use fo4depth::study::sweep::{depth_sweep_with, standard_points, CoreKind};
@@ -39,7 +41,10 @@ fn usage() -> ExitCode {
            replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
            validate                        workload calibration at the Alpha point\n\
            floorplan                       structure areas and wire distances\n\
-           experiments                     list the paper's experiments"
+           experiments                     list the paper's experiments\n\
+           report [--core ooo|inorder] [--bench NAME[,NAME...]] [--points F[,F...]]\n\
+                  [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE]\n\
+                  emit a machine-readable JSON run report (counters + CPI stacks)"
     );
     ExitCode::from(2)
 }
@@ -219,7 +224,10 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     // A finite file cannot satisfy an open-ended run; bound the interval by
     // a cheap line count first.
     let lines = match std::fs::read_to_string(path) {
-        Ok(s) => s.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#')).count() as u64,
+        Ok(s) => s
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count() as u64,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
             return ExitCode::FAILURE;
@@ -246,6 +254,71 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_report(mut args: Vec<String>) -> ExitCode {
+    let core = match take_opt::<String>(&mut args, "--core").as_deref() {
+        None | Some("ooo") => CoreKind::OutOfOrder,
+        Some("inorder") => CoreKind::InOrder,
+        Some(other) => {
+            eprintln!("unknown core {other}");
+            return ExitCode::from(2);
+        }
+    };
+    let quick = take_flag(&mut args, "--quick");
+    let out_path = take_opt::<String>(&mut args, "--out");
+    let mut params = params_from(&mut args);
+    if quick {
+        // Short intervals and three representative clock points: enough for
+        // CI and smoke checks; the counters and identity are still exact.
+        params.warmup = params.warmup.min(2_000);
+        params.measure = params.measure.min(8_000);
+    }
+    let points: Vec<Fo4> = match take_opt::<String>(&mut args, "--points") {
+        Some(list) => {
+            let mut out = Vec::new();
+            for raw in list.split(',') {
+                match raw.parse::<f64>() {
+                    Ok(v) if v > 0.0 => out.push(Fo4::new(v)),
+                    _ => {
+                        eprintln!("bad clock point {raw}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            out
+        }
+        None if quick => [4.0, 6.0, 8.0].into_iter().map(Fo4::new).collect(),
+        None => standard_points(),
+    };
+    let profs = match take_opt::<String>(&mut args, "--bench") {
+        Some(names) => {
+            let mut out = Vec::new();
+            for n in names.split(',') {
+                match profiles::by_name(n) {
+                    Some(p) => out.push(p),
+                    None => {
+                        eprintln!("unknown benchmark {n}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            out
+        }
+        None => profiles::all(),
+    };
+    let doc = report::generate(core, &profs, &params, &points);
+    let text = doc.pretty();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_floorplan() -> ExitCode {
     let plan = Floorplan::of(
         &fo4depth::study::capacity::CapacityChoice::base(),
@@ -258,8 +331,16 @@ fn cmd_floorplan() -> ExitCode {
     println!("  window     {:>7.2} mm2", plan.window_mm2);
     println!("  regfiles   {:>7.2} mm2", plan.regfiles_mm2);
     println!("  predictor  {:>7.2} mm2", plan.predictor_mm2);
-    println!("  core total {:>7.2} mm2  (span {:.2} mm)", plan.core_mm2, plan.core_span_mm());
-    println!("  die total  {:>7.2} mm2  (span {:.2} mm)", plan.total_mm2, plan.die_span_mm());
+    println!(
+        "  core total {:>7.2} mm2  (span {:.2} mm)",
+        plan.core_mm2,
+        plan.core_span_mm()
+    );
+    println!(
+        "  die total  {:>7.2} mm2  (span {:.2} mm)",
+        plan.total_mm2,
+        plan.die_span_mm()
+    );
     let model = fo4depth_fo4::WireModel::default();
     println!(
         "  front-end transport: {:.2} mm = {:.1} FO4 of repeated wire",
@@ -295,9 +376,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "floorplan" => cmd_floorplan(),
+        "report" => cmd_report(args),
         "experiments" => {
             for e in registry() {
-                println!("{:16} {}\n{:16} paper: {}\n{:16} run:   {}\n", e.id, e.title, "", e.paper, "", e.target);
+                println!(
+                    "{:16} {}\n{:16} paper: {}\n{:16} run:   {}\n",
+                    e.id, e.title, "", e.paper, "", e.target
+                );
             }
             ExitCode::SUCCESS
         }

@@ -7,10 +7,7 @@ fn fo4depth() -> Command {
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = fo4depth()
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = fo4depth().args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -114,6 +111,66 @@ fn replay_rejects_missing_and_short_files() {
     assert!(!ok);
     assert!(err.contains("too short"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_quick_emits_exact_deterministic_json() {
+    let args = &[
+        "report",
+        "--quick",
+        "--bench",
+        "164.gzip,171.swim",
+        "--points",
+        "6,8",
+    ];
+    let (out, err, ok) = run(args);
+    assert!(ok, "report failed: {err}");
+    let (out2, _, ok2) = run(args);
+    assert!(ok2);
+    assert_eq!(out, out2, "same-seed reports must be byte-identical");
+
+    let doc = fo4depth::util::Json::parse(&out).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("schema_version")
+            .and_then(fo4depth::util::Json::as_u64),
+        Some(1)
+    );
+    let points = doc
+        .get("points")
+        .and_then(fo4depth::util::Json::as_arr)
+        .expect("points array");
+    assert_eq!(points.len(), 2);
+    for point in points {
+        let benches = point
+            .get("benchmarks")
+            .and_then(fo4depth::util::Json::as_arr)
+            .expect("benchmarks");
+        assert_eq!(benches.len(), 2);
+        for b in benches {
+            // The slot identity, checked from the serialized document alone:
+            // cycles × width == useful_slots + Σ stall_slots.
+            let c = b.get("counters").expect("counters present");
+            let u = |j: Option<&fo4depth::util::Json>| {
+                j.and_then(fo4depth::util::Json::as_u64).expect("uint")
+            };
+            let cycles = u(c.get("cycles"));
+            let width = u(c.get("width"));
+            let useful = u(c.get("useful_slots"));
+            let fo4depth::util::Json::Obj(stalls) = c.get("stall_slots").expect("stalls") else {
+                panic!("stall_slots must be an object");
+            };
+            let stalled: u64 = stalls.iter().map(|(_, v)| u(Some(v))).sum();
+            assert_eq!(
+                cycles * width,
+                useful + stalled,
+                "CPI identity broken in {} report",
+                b.get("name")
+                    .and_then(fo4depth::util::Json::as_str)
+                    .unwrap_or("?")
+            );
+        }
+    }
+    assert!(doc.get("optima").is_some());
 }
 
 #[test]

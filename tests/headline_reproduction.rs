@@ -50,7 +50,10 @@ fn figure5_out_of_order_optima() {
     // FP optima sit at or below (deeper than) the integer optimum, and the
     // class performance ordering matches Figure 5.
     assert!(vec_opt <= int_opt);
-    assert!(vec_bips > int_bips, "vector {vec_bips} vs integer {int_bips}");
+    assert!(
+        vec_bips > int_bips,
+        "vector {vec_bips} vs integer {int_bips}"
+    );
     assert!(nv_bips > int_bips);
 
     // The optimal integer clock is ~3.6 GHz at 100 nm (§7).

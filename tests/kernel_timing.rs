@@ -82,7 +82,10 @@ fn wakeup_loop_gates_the_chain_not_the_long_ops() {
         wakeup: 3,
     };
     let alu = ooo_ipc(&cfg, kernels::dependent_chain());
-    assert!((alu - 1.0 / 3.0).abs() < 0.03, "ALU chain at wakeup 3: {alu}");
+    assert!(
+        (alu - 1.0 / 3.0).abs() < 0.03,
+        "ALU chain at wakeup 3: {alu}"
+    );
     let fp = ooo_ipc(&cfg, kernels::fp_chain());
     assert!((fp - 0.25).abs() < 0.03, "FP chain at wakeup 3: {fp}");
 }

@@ -37,7 +37,11 @@ fn figure8_critical_loop_ordering() {
     assert!(wakeup < load_use, "wakeup {wakeup} vs load-use {load_use}");
     assert!(load_use < branch, "load-use {load_use} vs branch {branch}");
     // All three hurt; none catastrophically reverses.
-    for (name, v) in [("wakeup", wakeup), ("load-use", load_use), ("branch", branch)] {
+    for (name, v) in [
+        ("wakeup", wakeup),
+        ("load-use", load_use),
+        ("branch", branch),
+    ] {
         assert!((0.15..1.0).contains(&v), "{name} relative IPC {v}");
     }
 }
@@ -53,12 +57,8 @@ fn figure6_optimum_insensitive_to_overhead() {
         .into_iter()
         .map(Fo4::new)
         .collect();
-    let curves = overhead_sensitivity_with(
-        &profs,
-        &params(),
-        &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
-        &points,
-    );
+    let curves =
+        overhead_sensitivity_with(&profs, &params(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0], &points);
     let opt_at = |ovh: f64| {
         curves
             .iter()

@@ -6,7 +6,9 @@ use fo4depth::pipeline::{CoreConfig, InOrderCore, OutOfOrderCore};
 use fo4depth::uarch::cache::Cache;
 use fo4depth::uarch::rob::ReorderBuffer;
 use fo4depth::uarch::segmented::{SegmentedWindow, SelectMode};
-use fo4depth::uarch::window::{ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel};
+use fo4depth::uarch::window::{
+    ConventionalWindow, IssueBudget, IssuePort, WindowEntry, WindowModel,
+};
 use fo4depth::util::{harmonic_mean, Rng64, Xoshiro256StarStar};
 use fo4depth::workload::{profiles, BenchClass, BenchProfile, TraceGenerator};
 use fo4depth_fo4::{cycles_for, Fo4};
@@ -167,6 +169,30 @@ proptest! {
     }
 }
 
+/// The shrunk case from `tests/property_invariants.proptest-regressions`
+/// (`completions = [48, 0, 0, ...]`), pinned as a deterministic test: a
+/// head entry completing long after its already-complete successors must
+/// not stall or reorder commit.
+#[test]
+fn rob_regression_late_head_completion() {
+    let completions: Vec<u64> = std::iter::once(48)
+        .chain(std::iter::repeat_n(0, 12))
+        .collect();
+    let mut rob = ReorderBuffer::new(64);
+    for (seq, _) in completions.iter().enumerate() {
+        rob.allocate(seq as u64, None).expect("capacity");
+    }
+    for (seq, &c) in completions.iter().enumerate() {
+        rob.complete(seq as u64, c);
+    }
+    let mut committed = Vec::new();
+    for cycle in 0..=(50 + completions.len() as u64) {
+        committed.extend(rob.commit_ready(cycle, 4).into_iter().map(|e| e.seq));
+    }
+    let sorted: Vec<u64> = (0..completions.len() as u64).collect();
+    assert_eq!(committed, sorted);
+}
+
 /// A focused determinism check (not a proptest: exact equality matters).
 #[test]
 fn simulators_are_bit_deterministic() {
@@ -214,4 +240,90 @@ fn calibrated_class_structure() {
     };
     assert!(mean_dep(BenchClass::VectorFp) > mean_dep(BenchClass::NonVectorFp));
     assert!(mean_dep(BenchClass::NonVectorFp) > mean_dep(BenchClass::Integer));
+}
+
+// ---- observability-layer invariants ------------------------------------
+
+use fo4depth::pipeline::{Counters, StallCause};
+use fo4depth::uarch::OccupancyHist;
+use fo4depth::util::Json;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slot identity survives arbitrary record sequences, and no cause
+    /// ever accumulates more slots than were lost in total.
+    #[test]
+    fn counter_slot_identity_is_exact(
+        width in 1u32..8,
+        cycles in proptest::collection::vec((0u32..8, 0usize..StallCause::COUNT), 1..200),
+    ) {
+        let mut c = Counters::new(width);
+        let mut lost = 0u64;
+        for (issued, cause) in cycles {
+            let issued = issued.min(width);
+            let stall = (issued < width).then(|| StallCause::ALL[cause]);
+            c.record_cycle(issued, stall);
+            lost += u64::from(width - issued);
+        }
+        prop_assert!(c.identity_holds());
+        prop_assert_eq!(c.stall_total(), lost);
+        for cause in StallCause::ALL {
+            prop_assert!(c.stalls(cause) <= lost);
+        }
+        // The CPI stack redistributes the identity over instructions: its
+        // components must sum to cycles/instructions.
+        let instructions = c.useful_slots.max(1);
+        let total: f64 = c.cpi_stack(instructions).iter().map(|(_, v)| v).sum();
+        let cpi = c.cycles as f64 / instructions as f64;
+        prop_assert!((total - cpi).abs() < 1e-9, "{} vs {}", total, cpi);
+    }
+
+    /// Occupancy histograms: bucket sums equal samples, the mean lies
+    /// within the observed range, and `max` names a non-empty bucket.
+    #[test]
+    fn occupancy_histogram_invariants(
+        occs in proptest::collection::vec(0usize..200, 1..300),
+    ) {
+        let mut h = OccupancyHist::new();
+        for &o in &occs {
+            h.record(o);
+        }
+        prop_assert_eq!(h.samples(), occs.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), occs.len() as u64);
+        let lo = *occs.iter().min().expect("non-empty") as f64;
+        let hi = *occs.iter().max().expect("non-empty") as f64;
+        prop_assert!(h.mean() >= lo - 1e-9 && h.mean() <= hi + 1e-9);
+        prop_assert_eq!(h.max(), *occs.iter().max().expect("non-empty"));
+        prop_assert!(h.buckets()[h.max()] > 0);
+    }
+
+    /// Counter blocks serialize to JSON that parses back to the same value
+    /// for arbitrary counter contents.
+    #[test]
+    fn counters_json_round_trips(
+        width in 1u32..8,
+        cycles in proptest::collection::vec((0u32..8, 0usize..StallCause::COUNT), 1..60),
+        occs in proptest::collection::vec(0usize..64, 1..60),
+    ) {
+        let mut c = Counters::new(width);
+        for &(issued, cause) in &cycles {
+            let issued = issued.min(width);
+            c.record_cycle(issued, (issued < width).then(|| StallCause::ALL[cause]));
+        }
+        for &o in &occs {
+            c.window_occupancy.record(o);
+        }
+        let doc = fo4depth::study::report::counters_json(&c, c.useful_slots.max(1));
+        let parsed = Json::parse(&doc.render()).expect("valid JSON");
+        prop_assert_eq!(&parsed, &doc);
+        prop_assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(c.cycles));
+        for cause in StallCause::ALL {
+            let got = parsed
+                .get("stall_slots")
+                .and_then(|s| s.get(cause.key()))
+                .and_then(Json::as_u64);
+            prop_assert_eq!(got, Some(c.stalls(cause)));
+        }
+    }
 }

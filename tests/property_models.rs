@@ -1,8 +1,8 @@
 //! Property-based tests over the analytical models (cacti, scaler, wires)
 //! and the trace serialization format.
 
-use fo4depth::cacti::{access_time, cam_access_time, CamConfig, SramConfig};
 use fo4depth::cacti::area::{cam_area, sram_area};
+use fo4depth::cacti::{access_time, cam_access_time, CamConfig, SramConfig};
 use fo4depth::fo4::{Fo4, Rounding, TechNode, WireModel};
 use fo4depth::isa::{ArchReg, BranchInfo, Instruction, Opcode};
 use fo4depth::study::latency::{LatencyTable, StructureSet};

@@ -1,0 +1,134 @@
+//! Offline miniature stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the real harness cannot
+//! be fetched. This crate keeps `cargo bench` working: each registered
+//! benchmark body runs a small fixed number of iterations and the mean
+//! wall-clock time is printed. There is no statistics engine, no warm-up
+//! calibration, and no report output.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark (the stand-in ignores `sample_size`).
+const ITERATIONS: u32 = 3;
+
+/// Throughput annotation (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched` (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepts (and ignores) a sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepts (and ignores) a throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration wall clock.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { nanos: 0, runs: 0 };
+        for _ in 0..ITERATIONS {
+            f(&mut b);
+        }
+        let mean = if b.runs == 0 {
+            0
+        } else {
+            b.nanos / u128::from(b.runs)
+        };
+        println!("{}/{id}: {} ns/iter (n={})", self.name, mean, b.runs);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.nanos += start.elapsed().as_nanos();
+        self.runs += 1;
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.nanos += start.elapsed().as_nanos();
+        self.runs += 1;
+    }
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so existing `use serde::{Deserialize, Serialize}`
+//! imports and `#[derive(...)]` annotations compile unchanged without
+//! registry access. No serialization machinery is provided; the repo's
+//! machine-readable output uses `fo4depth_util::json`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the real proc-macro
+//! crate cannot be fetched. This repo only ever *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` (plus `#[serde(...)]` helpers) and
+//! never calls a serializer — machine-readable output goes through
+//! `fo4depth_util::json` instead. The derives therefore expand to nothing;
+//! swapping the real serde back in requires only a Cargo.toml change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]`, emitting no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]`, emitting no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
