@@ -3,7 +3,13 @@
 //! truth (used by the integration tests, the benchmark harness, and
 //! EXPERIMENTS.md).
 
+use fo4depth_fo4::Fo4;
+use fo4depth_workload::BenchProfile;
 use serde::{Deserialize, Serialize};
+
+use crate::latency::StructureSet;
+use crate::sim::SimParams;
+use crate::sweep::{depth_sweep_spec, CoreKind, DepthSweep, SweepSpec};
 
 /// One reproducible experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,6 +79,59 @@ impl PaperHeadlines {
             ecl_gate_fo4: 1.36,
         }
     }
+}
+
+/// One regenerated headline figure: the sweep behind Figure 4a, 4b, or 5.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FigureResult {
+    /// Registry identifier ("Figure 4a", …).
+    pub id: &'static str,
+    /// Core model the figure uses.
+    pub core: CoreKind,
+    /// Per-stage overhead (FO4).
+    pub overhead: f64,
+    /// The regenerated sweep.
+    pub sweep: DepthSweep,
+}
+
+/// Regenerates the paper's three headline depth-sweep figures — 4a
+/// (in-order, zero overhead), 4b (in-order, 1.8 FO4), and 5 (out-of-order,
+/// 1.8 FO4) — concurrently on the shared execution pool.
+///
+/// The figures are independent, so they fan out as three tasks whose inner
+/// (point × benchmark) grids share the same workers: a short figure's lanes
+/// drain into a long one instead of idling at a per-figure barrier. Results
+/// are bit-identical to running each figure serially.
+#[must_use]
+pub fn run_headline_figures(
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    points: &[Fo4],
+) -> Vec<FigureResult> {
+    let structures = StructureSet::alpha_21264();
+    let figures: [(&'static str, CoreKind, f64); 3] = [
+        ("Figure 4a", CoreKind::InOrder, 0.0),
+        ("Figure 4b", CoreKind::InOrder, 1.8),
+        ("Figure 5", CoreKind::OutOfOrder, 1.8),
+    ];
+    let pool = fo4depth_exec::global();
+    pool.map(&figures, |&(id, core, overhead)| {
+        let spec = SweepSpec {
+            core,
+            profiles,
+            params,
+            structures: &structures,
+            overhead: Fo4::new(overhead),
+            points,
+            observed: false,
+        };
+        FigureResult {
+            id,
+            core,
+            overhead,
+            sweep: depth_sweep_spec(&spec, pool),
+        }
+    })
 }
 
 /// The complete experiment registry.
@@ -190,6 +249,37 @@ mod tests {
             "Appendix A",
         ] {
             assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn headline_figures_match_serial_sweeps() {
+        use crate::sweep::depth_sweep_with;
+        use fo4depth_workload::profiles;
+
+        let profs = vec![
+            profiles::by_name("164.gzip").unwrap(),
+            profiles::by_name("171.swim").unwrap(),
+        ];
+        let params = SimParams {
+            warmup: 1_000,
+            measure: 3_000,
+            seed: 1,
+        };
+        let points: Vec<Fo4> = [4.0, 8.0].into_iter().map(Fo4::new).collect();
+        let figures = run_headline_figures(&profs, &params, &points);
+        assert_eq!(figures.len(), 3);
+        assert_eq!(figures[0].id, "Figure 4a");
+        for f in &figures {
+            let serial = depth_sweep_with(
+                f.core,
+                &profs,
+                &params,
+                &StructureSet::alpha_21264(),
+                Fo4::new(f.overhead),
+                &points,
+            );
+            assert_eq!(f.sweep, serial, "{} diverged from serial sweep", f.id);
         }
     }
 

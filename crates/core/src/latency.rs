@@ -57,9 +57,13 @@ pub struct StructureSet {
 impl StructureSet {
     /// The base Alpha-21264-derived configuration of §3.1/§3.2: 64 KB
     /// caches, 2 MB L2, 512-entry register files, 32-entry window.
+    ///
+    /// The Cacti access-time evaluations behind it are computed once per
+    /// process and reused (every sweep point and report re-requests them).
     #[must_use]
     pub fn alpha_21264() -> Self {
-        Self {
+        static BASE: std::sync::OnceLock<StructureSet> = std::sync::OnceLock::new();
+        *BASE.get_or_init(|| Self {
             icache: access_time(&presets::data_cache_64kb()).total,
             dcache: access_time(&presets::data_cache_64kb()).total,
             l2: access_time(&presets::l2_cache_2mb()).total,
@@ -72,12 +76,15 @@ impl StructureSet {
             l2_capacity: 2 * 1024 * 1024,
             predictor_entries: 1024,
             window_entries: 32,
-        }
+        })
     }
 
     /// Same structures with an arbitrary capacity choice (the §4.5 search):
     /// D-cache capacity in bytes, L2 capacity in bytes, window entries, and
     /// predictor table entries.
+    ///
+    /// Memoized per capacity tuple: the §4.5 capacity search and Figure 7
+    /// revisit the same tuples at every clock point.
     ///
     /// # Panics
     ///
@@ -89,7 +96,16 @@ impl StructureSet {
         window_entries: u32,
         predictor_entries: u64,
     ) -> Self {
-        Self {
+        type Key = (u64, u64, u32, u64);
+        static CACHE: std::sync::OnceLock<
+            std::sync::Mutex<std::collections::HashMap<Key, StructureSet>>,
+        > = std::sync::OnceLock::new();
+        let key = (dcache_bytes, l2_bytes, window_entries, predictor_entries);
+        let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+        if let Some(hit) = cache.lock().expect("capacity cache lock").get(&key) {
+            return *hit;
+        }
+        let set = Self {
             dcache: access_time(&presets::data_cache(dcache_bytes)).total,
             l2: access_time(&presets::l2_cache(l2_bytes)).total,
             issue_window: cam_access_time(&presets::issue_window(window_entries)).total,
@@ -99,7 +115,9 @@ impl StructureSet {
             predictor_entries,
             window_entries,
             ..Self::alpha_21264()
-        }
+        };
+        cache.lock().expect("capacity cache lock").insert(key, set);
+        set
     }
 }
 

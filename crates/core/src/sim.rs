@@ -149,37 +149,18 @@ fn run_inorder_inner(
     }
 }
 
-/// Runs a set of profiles in parallel across OS threads (simulations are
-/// independent and CPU-bound).
+/// Runs a set of profiles in parallel on the shared execution pool
+/// (simulations are independent and CPU-bound). Results come back in
+/// input order and are bit-identical at any pool size.
 #[must_use]
 pub fn run_set<F>(profiles: &[BenchProfile], run_one: F) -> Vec<BenchOutcome>
 where
     F: Fn(&BenchProfile) -> BenchOutcome + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(profiles.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<BenchOutcome>> = (0..profiles.len()).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<BenchOutcome>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= profiles.len() {
-                    break;
-                }
-                let outcome = run_one(&profiles[i]);
-                **slot_refs[i].lock().expect("slot lock") = Some(outcome);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    if profiles.is_empty() {
+        return Vec::new();
+    }
+    fo4depth_exec::global().map(profiles, run_one)
 }
 
 /// Per-class aggregate of a benchmark set at one clock point.
@@ -239,6 +220,12 @@ mod tests {
             let serial = run_ooo(&cfg, p, &params);
             assert_eq!(parallel[i], serial, "{} differs", p.name);
         }
+    }
+
+    #[test]
+    fn empty_profile_set_short_circuits() {
+        let out = run_set(&[], |_| unreachable!("no profiles, no runs"));
+        assert!(out.is_empty());
     }
 
     #[test]

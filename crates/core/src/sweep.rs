@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
 use crate::sim::{
-    run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, run_set, summarize, BenchOutcome,
+    run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, summarize, BenchOutcome,
     SimParams,
 };
 
@@ -104,6 +104,26 @@ pub fn depth_sweep(core: CoreKind, profiles: &[BenchProfile], params: &SimParams
     )
 }
 
+/// Everything that defines a depth sweep, separated from the execution
+/// resources so callers (and tests) can run the same sweep on any pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSpec<'a> {
+    /// Core model to exercise.
+    pub core: CoreKind,
+    /// Benchmark profiles to run at every point.
+    pub profiles: &'a [BenchProfile],
+    /// Simulation intervals and seed.
+    pub params: &'a SimParams,
+    /// Structure access times to scale.
+    pub structures: &'a StructureSet,
+    /// Per-stage overhead.
+    pub overhead: Fo4,
+    /// Candidate `t_useful` points.
+    pub points: &'a [Fo4],
+    /// Whether every run collects stall-attribution counters.
+    pub observed: bool,
+}
+
 /// Runs a depth sweep with explicit structures, overhead, and points —
 /// the general entry used by Figures 4a (zero overhead), 6, and 7.
 #[must_use]
@@ -115,7 +135,18 @@ pub fn depth_sweep_with(
     overhead: Fo4,
     points: &[Fo4],
 ) -> DepthSweep {
-    depth_sweep_inner(core, profiles, params, structures, overhead, points, false)
+    depth_sweep_spec(
+        &SweepSpec {
+            core,
+            profiles,
+            params,
+            structures,
+            overhead,
+            points,
+            observed: false,
+        },
+        fo4depth_exec::global(),
+    )
 }
 
 /// Like [`depth_sweep_with`], but every run collects stall-attribution
@@ -131,38 +162,59 @@ pub fn depth_sweep_observed(
     overhead: Fo4,
     points: &[Fo4],
 ) -> DepthSweep {
-    depth_sweep_inner(core, profiles, params, structures, overhead, points, true)
+    depth_sweep_spec(
+        &SweepSpec {
+            core,
+            profiles,
+            params,
+            structures,
+            overhead,
+            points,
+            observed: true,
+        },
+        fo4depth_exec::global(),
+    )
 }
 
-fn depth_sweep_inner(
-    core: CoreKind,
-    profiles: &[BenchProfile],
-    params: &SimParams,
-    structures: &StructureSet,
-    overhead: Fo4,
-    points: &[Fo4],
-    observed: bool,
-) -> DepthSweep {
-    let points = points
+/// Runs a sweep on an explicit pool. The whole (point × benchmark) grid is
+/// flattened into one task set — no join barrier between clock points, so
+/// a straggling benchmark at one point overlaps with work from the next.
+/// Results are assembled in grid order: the sweep is bit-identical at any
+/// pool size, including the single-lane serial path.
+#[must_use]
+pub fn depth_sweep_spec(spec: &SweepSpec<'_>, pool: &fo4depth_exec::Pool) -> DepthSweep {
+    let machines: Vec<ScaledMachine> = spec
+        .points
         .iter()
-        .map(|&t| {
-            let machine = ScaledMachine::at(structures, t, overhead);
-            let outcomes = run_set(profiles, |p| match (core, observed) {
-                (CoreKind::InOrder, false) => run_inorder(&machine.config, p, params),
-                (CoreKind::InOrder, true) => run_inorder_observed(&machine.config, p, params),
-                (CoreKind::OutOfOrder, false) => run_ooo(&machine.config, p, params),
-                (CoreKind::OutOfOrder, true) => run_ooo_observed(&machine.config, p, params),
-            });
-            SweepPoint {
-                t_useful: t.get(),
-                period_ps: machine.period_ps(),
-                outcomes,
-            }
+        .map(|&t| ScaledMachine::at(spec.structures, t, spec.overhead))
+        .collect();
+    let grid: Vec<(usize, usize)> = (0..spec.points.len())
+        .flat_map(|pi| (0..spec.profiles.len()).map(move |bi| (pi, bi)))
+        .collect();
+    let outcomes = pool.map(&grid, |&(pi, bi)| {
+        let config = &machines[pi].config;
+        let profile = &spec.profiles[bi];
+        match (spec.core, spec.observed) {
+            (CoreKind::InOrder, false) => run_inorder(config, profile, spec.params),
+            (CoreKind::InOrder, true) => run_inorder_observed(config, profile, spec.params),
+            (CoreKind::OutOfOrder, false) => run_ooo(config, profile, spec.params),
+            (CoreKind::OutOfOrder, true) => run_ooo_observed(config, profile, spec.params),
+        }
+    });
+    let mut outcomes = outcomes.into_iter();
+    let points = spec
+        .points
+        .iter()
+        .zip(&machines)
+        .map(|(&t, machine)| SweepPoint {
+            t_useful: t.get(),
+            period_ps: machine.period_ps(),
+            outcomes: outcomes.by_ref().take(spec.profiles.len()).collect(),
         })
         .collect();
     DepthSweep {
-        core,
-        overhead: overhead.get(),
+        core: spec.core,
+        overhead: spec.overhead.get(),
         points,
     }
 }

@@ -1,0 +1,434 @@
+//! Persistent work-stealing execution engine with a deterministic
+//! fork-join API.
+//!
+//! The study's fan-out is an embarrassingly parallel grid: (clock point ×
+//! benchmark) simulations that are pure functions of their inputs. This
+//! crate provides the one scheduling primitive that grid needs — an
+//! order-preserving [`Pool::map`] — on top of a *persistent* pool of
+//! worker threads, so sweeping 15 clock points costs one thread-pool, not
+//! 15 spawn/join barriers.
+//!
+//! # Design
+//!
+//! * **Shared injector, index stealing.** Each `map` call publishes one
+//!   *batch*: a lifetime-erased closure plus an atomic claim cursor. Idle
+//!   workers steal task *indices* from any in-flight batch (oldest batch
+//!   first), so late-arriving batches drain into whatever capacity is
+//!   free. There are no per-task allocations and no channels.
+//! * **Caller helps.** The thread that submits a batch immediately starts
+//!   claiming indices from it, and blocks only once every index is
+//!   claimed and some are still running elsewhere. A claimed index is
+//!   always *being executed*, so nested `map` calls (a worker's task
+//!   fanning out a sub-grid onto the same pool) cannot deadlock: waiting
+//!   only ever happens above running work.
+//! * **Deterministic join.** Results are written into per-index slots and
+//!   returned in input order. Because tasks are pure, the joined `Vec` is
+//!   byte-identical whether the pool has 1 thread or N — parallelism is
+//!   an implementation detail, never an observable one.
+//!
+//! A pool of size 1 spawns no threads at all and runs `map` inline on the
+//! caller — the deterministic serial path that `--jobs 1` forces.
+//!
+//! # Examples
+//!
+//! ```
+//! let pool = fo4depth_exec::Pool::new(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Environment variable overriding the global pool's thread count.
+pub const THREADS_ENV: &str = "FO4DEPTH_THREADS";
+
+/// Lifetime-erased pointer to a batch body (`Fn(usize)` running task `i`).
+///
+/// The pointee lives on the submitting thread's stack; erasure is sound
+/// because [`Pool::run_batch`] never returns (not even by unwinding)
+/// until every claimed index has finished executing.
+struct BodyPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and the pointer never outlives the `run_batch` call that created it.
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+/// One published fork-join batch.
+struct Batch {
+    body: BodyPtr,
+    len: usize,
+    /// Next unclaimed task index; claims are `fetch_add` steals.
+    next: AtomicUsize,
+    /// Tasks finished executing (monotonic; equals `len` at join).
+    completed: AtomicUsize,
+    /// Set when any task panicked; the submitter re-raises at the join.
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    /// Runs task `i`, capturing panics so a poisoned task cannot take the
+    /// worker thread (and the whole pool) down with it.
+    fn run_task(&self, i: usize) {
+        // SAFETY: see `BodyPtr` — the body outlives the batch's join.
+        let body = unsafe { &*self.body.0 };
+        if panic::catch_unwind(AssertUnwindSafe(|| body(i))).is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Queue of in-flight batches plus shutdown flag, under one lock.
+struct State {
+    batches: Vec<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled when a batch is published (workers wait here when idle).
+    work_available: Condvar,
+    /// Signalled when a task completes (submitters wait here to join).
+    task_done: Condvar,
+}
+
+impl Inner {
+    /// Claims one task index from the oldest batch with unclaimed work,
+    /// pruning exhausted batches. Must be called with the state lock held.
+    fn steal(state: &mut State) -> Option<(Arc<Batch>, usize)> {
+        state
+            .batches
+            .retain(|b| b.next.load(Ordering::Relaxed) < b.len);
+        for b in &state.batches {
+            let i = b.next.fetch_add(1, Ordering::Relaxed);
+            if i < b.len {
+                return Some((Arc::clone(b), i));
+            }
+        }
+        None
+    }
+
+    /// Marks one task of `batch` finished and wakes joiners. Takes the
+    /// state lock so the increment cannot race a joiner past its final
+    /// condition check (no lost wakeups).
+    fn finish_task(&self, batch: &Batch) {
+        let _guard = self.state.lock().expect("pool lock");
+        batch.completed.fetch_add(1, Ordering::Release);
+        self.task_done.notify_all();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut state = inner.state.lock().expect("pool lock");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        if let Some((batch, i)) = Inner::steal(&mut state) {
+            drop(state);
+            batch.run_task(i);
+            inner.finish_task(&batch);
+            state = inner.state.lock().expect("pool lock");
+        } else {
+            state = inner.work_available.wait(state).expect("pool lock");
+        }
+    }
+}
+
+/// A persistent fork-join pool.
+///
+/// Dropping the pool shuts the workers down (after in-flight batches
+/// drain their claimed tasks).
+pub struct Pool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total lanes of parallelism. The
+    /// submitting caller is one lane, so `threads - 1` workers are
+    /// spawned; `threads <= 1` spawns nothing and makes every [`map`]
+    /// run inline on the caller (the deterministic serial path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                batches: Vec::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            task_done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fo4depth-exec-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total lanes of parallelism (caller + workers).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order. Pure `f` makes the output identical at every pool size.
+    ///
+    /// Nested calls (from inside a task) are safe and share the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked for any item (after all items finish).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.threads <= 1 || items.len() == 1 {
+            return items.iter().map(f).collect();
+        }
+        let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+        let body = |i: usize| {
+            let value = f(&items[i]);
+            assert!(
+                slots[i].set(value).is_ok(),
+                "task {i} claimed twice — pool claim cursor corrupted"
+            );
+        };
+        self.run_batch(items.len(), &body);
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("joined batch filled all slots"))
+            .collect()
+    }
+
+    /// Publishes a batch, helps execute it, and joins it. Does not return
+    /// until every task has finished executing — the invariant that makes
+    /// the lifetime erasure in [`BodyPtr`] sound.
+    fn run_batch(&self, len: usize, body: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: erasing the body's lifetime is sound because this
+        // function joins the batch (completed == len) before returning,
+        // and the two pointer types differ only in lifetime.
+        let body: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(body) };
+        let batch = Arc::new(Batch {
+            body: BodyPtr(body),
+            len,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.batches.push(Arc::clone(&batch));
+        }
+        self.inner.work_available.notify_all();
+
+        // Help: claim and run this batch's tasks on the submitting thread.
+        loop {
+            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            batch.run_task(i);
+            self.inner.finish_task(&batch);
+        }
+
+        // Join: every index is claimed; wait for stolen ones to finish.
+        let mut state = self.inner.state.lock().expect("pool lock");
+        while batch.completed.load(Ordering::Acquire) < len {
+            state = self.inner.task_done.wait(state).expect("pool lock");
+        }
+        drop(state);
+        assert!(
+            !batch.panicked.load(Ordering::Acquire),
+            "a pool task panicked"
+        );
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- global pool -------------------------------------------------------
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+/// Thread count requested before the global pool was built (0 = auto).
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+/// Requests `threads` lanes for the global pool (e.g. from `--jobs`).
+/// Returns `false` if the global pool was already built with a different
+/// size — callers should then warn rather than silently mis-run.
+pub fn set_global_threads(threads: usize) -> bool {
+    REQUESTED.store(threads.max(1), Ordering::Relaxed);
+    GLOBAL.get().is_none_or(|p| p.threads() == threads.max(1))
+}
+
+/// Default lane count: `FO4DEPTH_THREADS` if set, else the machine's
+/// available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+}
+
+/// The process-wide pool every study-level fan-out shares. Built on first
+/// use from [`set_global_threads`], the [`THREADS_ENV`] variable, or the
+/// machine's parallelism, in that order of precedence.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let requested = REQUESTED.load(Ordering::Relaxed);
+        let threads = if requested > 0 {
+            requested
+        } else {
+            default_threads()
+        };
+        Pool::new(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.map(&items, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.map(&[1, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_short_circuits() {
+        let pool = Pool::new(4);
+        let out: Vec<u64> = pool.map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let pool = Pool::new(8);
+        let counter = AtomicU64::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.map(&items, |&i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn nested_map_shares_the_pool_without_deadlock() {
+        let pool = Pool::new(4);
+        let rows: Vec<u64> = (0..8).collect();
+        let table = pool.map(&rows, |&r| {
+            let cols: Vec<u64> = (0..8).collect();
+            pool.map(&cols, |&c| r * 10 + c)
+        });
+        for (r, row) in table.iter().enumerate() {
+            let expected: Vec<u64> = (0..8).map(|c| r as u64 * 10 + c).collect();
+            assert_eq!(*row, expected);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13);
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.map(&items, f), serial, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn concurrent_batches_from_two_submitters() {
+        let pool = Arc::new(Pool::new(4));
+        let p2 = Arc::clone(&pool);
+        let handle = std::thread::spawn(move || {
+            let items: Vec<u64> = (0..200).collect();
+            p2.map(&items, |&x| x + 1)
+        });
+        let items: Vec<u64> = (0..200).collect();
+        let a = pool.map(&items, |&x| x + 2);
+        let b = handle.join().expect("submitter thread");
+        assert_eq!(a, (2..202).collect::<Vec<_>>());
+        assert_eq!(b, (1..201).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "a pool task panicked")]
+    fn task_panic_propagates_to_the_submitter() {
+        let pool = Pool::new(2);
+        let items: Vec<u64> = (0..16).collect();
+        let _ = pool.map(&items, |&x| {
+            assert!(x != 7, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

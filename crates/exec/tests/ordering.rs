@@ -1,0 +1,34 @@
+//! Property tests for the fork-join pool: `map` must behave exactly like
+//! the serial `iter().map().collect()` — same results, same order — for
+//! arbitrary task counts and pool sizes. This is the contract the study's
+//! bit-deterministic sweeps rest on.
+
+use fo4depth_exec::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `map` preserves input ordering for arbitrary task counts and pool
+    /// sizes, including counts around the lane count and zero.
+    #[test]
+    fn map_preserves_input_ordering(len in 0usize..200, threads in 1usize..9) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (x << 7);
+        let expected: Vec<u64> = items.iter().map(f).collect();
+        let pool = Pool::new(threads);
+        prop_assert_eq!(pool.map(&items, f), expected);
+    }
+
+    /// Re-running the same batch on the same pool is stable (the pool
+    /// carries no state between batches that could leak into results).
+    #[test]
+    fn repeated_batches_are_stable(len in 1usize..120) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let f = |&x: &u64| x.rotate_left((x % 63) as u32);
+        let pool = Pool::new(4);
+        let first = pool.map(&items, f);
+        let second = pool.map(&items, f);
+        prop_assert_eq!(first, second);
+    }
+}

@@ -20,7 +20,8 @@
 //!   (`issue + regread + exec`), then refills through the whole front end —
 //!   the branch-misprediction loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use fo4depth_isa::{Instruction, OpClass};
 use fo4depth_uarch::branch::{
@@ -87,12 +88,6 @@ struct Inflight {
     cluster: u8,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum WaitTag {
-    Reg(u32),
-    Store(u64),
-}
-
 #[derive(Debug, Clone, Copy)]
 struct WaitState {
     pending: u32,
@@ -109,6 +104,16 @@ struct ValueInfo {
     ready: u64,
     cluster: u8,
     kind: ValueKind,
+}
+
+impl ValueInfo {
+    /// State of a register with no tracked producer: architecturally ready
+    /// since cycle 0, from no particular cluster.
+    const ABSENT: Self = Self {
+        ready: 0,
+        cluster: u8::MAX,
+        kind: ValueKind::Exec,
+    };
 }
 
 /// Observation state, boxed so the disabled case costs one null check.
@@ -147,12 +152,25 @@ pub struct OutOfOrderCore<I: Iterator<Item = Instruction>> {
     btb: Btb,
 
     pending: VecDeque<Pending>,
-    inflight: HashMap<u64, Inflight>,
-    /// Per physical register: value-ready cycle, producing cluster, and
-    /// latency kind.
-    value_ready: HashMap<u32, ValueInfo>,
-    unissued: std::collections::HashSet<u32>,
-    waiters: HashMap<WaitTag, Vec<u64>>,
+    /// In-flight instruction metadata, ring-indexed by
+    /// `seq % rob_capacity`. Dispatch and commit bracket the same lifetime
+    /// as the ROB, whose entries hold a contiguous seq range, so slots
+    /// cannot collide.
+    inflight: Vec<Option<Inflight>>,
+    /// Per physical register (flat, index = register number): value-ready
+    /// cycle, producing cluster, and latency kind. [`ValueInfo::ABSENT`]
+    /// marks registers with no tracked producer.
+    value_ready: Vec<ValueInfo>,
+    /// Bit per physical register: renamed as a destination but not yet
+    /// issued (the value's ready time is still unknown).
+    unissued: Vec<u64>,
+    /// Consumers waiting on each physical register, flat-indexed by
+    /// register number — the wakeup table. Inner vectors keep their
+    /// allocation across wakes.
+    reg_waiters: Vec<Vec<u64>>,
+    /// Consumers gated on a store's data (store-forwarding waits; rare
+    /// enough that a map beats a flat table keyed on store seq).
+    store_waiters: HashMap<u64, Vec<u64>>,
     consumers: HashMap<u64, WaitState>,
     /// Latency kind of the producer bounding each window entry's ready
     /// time (kept unconditionally — cheap, and keeping it independent of
@@ -174,8 +192,13 @@ pub struct OutOfOrderCore<I: Iterator<Item = Instruction>> {
     /// Length of the issue-wakeup recurrence in cycles (1 = dependents can
     /// go back-to-back).
     wakeup_loop: u64,
-    /// Completion times of in-flight L1 misses (for the MSHR limit).
-    outstanding_misses: Vec<u64>,
+    /// Completion times of in-flight L1 misses (for the MSHR limit), as a
+    /// min-heap on completion cycle.
+    outstanding_misses: BinaryHeap<Reverse<u64>>,
+    /// Reusable per-cycle buffer for the select stage's picks.
+    selected_scratch: Vec<WindowEntry>,
+    /// Reusable per-cycle buffer for the commit stage's retirements.
+    committed_scratch: Vec<fo4depth_uarch::rob::RobEntry>,
 
     // Counters.
     branches: u64,
@@ -221,6 +244,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             ),
         };
         let predictor = build_predictor(&cfg);
+        let phys = cfg.phys_regs as usize;
         Self {
             rob: ReorderBuffer::new(cfg.rob_capacity),
             rename: RenameMap::new(cfg.phys_regs),
@@ -231,17 +255,20 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             btb: Btb::new(cfg.btb_entries),
             window,
             wakeup_loop,
-            outstanding_misses: Vec::new(),
+            outstanding_misses: BinaryHeap::new(),
+            selected_scratch: Vec::new(),
+            committed_scratch: Vec::new(),
+            inflight: vec![None; cfg.rob_capacity],
+            value_ready: vec![ValueInfo::ABSENT; phys],
+            unissued: vec![0; phys.div_ceil(64)],
+            reg_waiters: vec![Vec::new(); phys],
             cfg,
             trace,
             now: 0,
             next_seq: 0,
             committed: 0,
             pending: VecDeque::new(),
-            inflight: HashMap::new(),
-            value_ready: HashMap::new(),
-            unissued: std::collections::HashSet::new(),
-            waiters: HashMap::new(),
+            store_waiters: HashMap::new(),
             consumers: HashMap::new(),
             issue_wait: HashMap::new(),
             fetch_halted: false,
@@ -348,23 +375,27 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     // ---- commit --------------------------------------------------------
 
     fn commit(&mut self) {
-        let done = self
-            .rob
-            .commit_ready(self.now, self.cfg.commit_width as usize);
+        let mut done = std::mem::take(&mut self.committed_scratch);
+        done.clear();
+        self.rob
+            .commit_ready_into(self.now, self.cfg.commit_width as usize, &mut done);
         if done.is_empty() {
+            self.committed_scratch = done;
             return;
         }
         self.last_commit_cycle = self.now;
+        let ring = self.inflight.len();
         for e in &done {
             if let Some(p) = e.free_on_commit {
                 self.rename.free(p);
-                self.value_ready.remove(&p);
+                self.value_ready[p as usize] = ValueInfo::ABSENT;
             }
-            self.inflight.remove(&e.seq);
+            self.inflight[(e.seq as usize) % ring] = None;
             self.committed += 1;
         }
         let last = done.last().expect("nonempty").seq;
         self.lsq.retire_through(last);
+        self.committed_scratch = done;
     }
 
     // ---- issue / execute ------------------------------------------------
@@ -375,7 +406,10 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         if self.observation.is_some() {
             self.record_occupancy();
         }
-        let selected = self.window.select(self.now, &mut budget);
+        let mut selected = std::mem::take(&mut self.selected_scratch);
+        selected.clear();
+        self.window
+            .select_into(self.now, &mut budget, &mut selected);
         if self.observation.is_some() {
             let issued = selected.len() as u32;
             // Classification reads post-select window state: leftover
@@ -386,9 +420,10 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 o.counters.record_cycle(issued, stall);
             }
         }
-        for entry in selected {
+        for &entry in &selected {
             self.execute(entry);
         }
+        self.selected_scratch = selected;
     }
 
     /// Informational cycle counter: dispatch hit a structural wall this
@@ -481,7 +516,8 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
 
     fn execute(&mut self, entry: WindowEntry) {
         let seq = entry.seq;
-        let info = *self.inflight.get(&seq).expect("issued unknown instruction");
+        let info = self.inflight[(seq as usize) % self.inflight.len()]
+            .expect("issued unknown instruction");
         let exec = self.cfg.exec.of(info.op).max(1);
         let now = self.now;
         self.issue_wait.remove(&seq);
@@ -555,28 +591,20 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         };
 
         if let Some(dest) = info.dest {
-            self.unissued.remove(&dest);
-            self.value_ready.insert(
-                dest,
-                ValueInfo {
-                    ready: value_ready,
-                    cluster: info.cluster,
-                    kind,
-                },
-            );
-            self.wake(WaitTag::Reg(dest), value_ready, info.cluster, kind);
+            self.unissued_clear(dest);
+            self.value_ready[dest as usize] = ValueInfo {
+                ready: value_ready,
+                cluster: info.cluster,
+                kind,
+            };
+            self.wake_reg(dest, value_ready, info.cluster, kind);
         }
         if info.op == OpClass::Store {
             let data_ready = now + exec;
             self.lsq.store_executed(seq, data_ready);
             // Store data forwards through the LSQ, not the bypass network:
             // no cluster adjustment.
-            self.wake(
-                WaitTag::Store(seq),
-                data_ready,
-                u8::MAX,
-                ValueKind::StoreForward,
-            );
+            self.wake_store(seq, data_ready);
         }
         if info.mispredicted {
             // Fetch resumes after resolve plus the redirect penalty; the
@@ -596,34 +624,56 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         if limit == 0 {
             return latency;
         }
-        self.outstanding_misses.retain(|&t| t > now);
+        // Drop retired misses (completion at or before `now`); the heap min
+        // makes this a peek/pop loop instead of a scan.
+        while let Some(&Reverse(t)) = self.outstanding_misses.peek() {
+            if t > now {
+                break;
+            }
+            self.outstanding_misses.pop();
+        }
         let begin = if self.outstanding_misses.len() >= limit {
             // Wait for the earliest outstanding miss to retire.
-            let (idx, &earliest) = self
-                .outstanding_misses
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("non-empty at limit");
-            self.outstanding_misses.swap_remove(idx);
+            let Reverse(earliest) = self.outstanding_misses.pop().expect("non-empty at limit");
             earliest.max(now)
         } else {
             now
         };
         let complete = begin + latency;
-        self.outstanding_misses.push(complete);
+        self.outstanding_misses.push(Reverse(complete));
         complete - now
     }
 
-    /// Wakes consumers of `tag`. `producer_cluster` is `u8::MAX` for
-    /// non-bypass sources (store forwarding), which never pay the
-    /// cross-cluster penalty.
-    fn wake(&mut self, tag: WaitTag, ready: u64, producer_cluster: u8, kind: ValueKind) {
-        let Some(waiting) = self.waiters.remove(&tag) else {
+    /// Wakes consumers of physical register `reg` (the wakeup-table
+    /// broadcast). The waiter list keeps its allocation across wakes.
+    fn wake_reg(&mut self, reg: u32, ready: u64, producer_cluster: u8, kind: ValueKind) {
+        let mut waiting = std::mem::take(&mut self.reg_waiters[reg as usize]);
+        if !waiting.is_empty() {
+            self.process_waiters(&waiting, ready, producer_cluster, kind);
+            waiting.clear();
+        }
+        self.reg_waiters[reg as usize] = waiting;
+    }
+
+    /// Wakes loads gated on a store's data. Store data forwards through the
+    /// LSQ, not the bypass network, so it never pays the cross-cluster
+    /// penalty (`producer_cluster = u8::MAX`).
+    fn wake_store(&mut self, store_seq: u64, ready: u64) {
+        let Some(waiting) = self.store_waiters.remove(&store_seq) else {
             return;
         };
+        self.process_waiters(&waiting, ready, u8::MAX, ValueKind::StoreForward);
+    }
+
+    fn process_waiters(
+        &mut self,
+        waiting: &[u64],
+        ready: u64,
+        producer_cluster: u8,
+        kind: ValueKind,
+    ) {
         let penalty = self.cfg.cross_cluster_penalty;
-        for consumer in waiting {
+        for &consumer in waiting {
             let Some(state) = self.consumers.get_mut(&consumer) else {
                 continue;
             };
@@ -646,6 +696,23 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 self.window.set_ready(consumer, acc);
             }
         }
+    }
+
+    // ---- unissued-register bitset ---------------------------------------
+
+    #[inline]
+    fn unissued_set(&mut self, reg: u32) {
+        self.unissued[(reg / 64) as usize] |= 1u64 << (reg % 64);
+    }
+
+    #[inline]
+    fn unissued_clear(&mut self, reg: u32) {
+        self.unissued[(reg / 64) as usize] &= !(1u64 << (reg % 64));
+    }
+
+    #[inline]
+    fn unissued_test(&self, reg: u32) -> bool {
+        self.unissued[(reg / 64) as usize] & (1u64 << (reg % 64)) != 0
     }
 
     // ---- dispatch -------------------------------------------------------
@@ -696,37 +763,18 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             acc: self.now,
             kind: None,
         };
-        let track = |tag: WaitTag,
-                     ready: Option<(u64, ValueKind)>,
-                     state: &mut WaitState,
-                     waiters: &mut HashMap<WaitTag, Vec<u64>>| {
-            match ready {
-                Some((t, k)) => {
-                    if t > state.acc {
-                        state.acc = t;
-                        state.kind = Some(k);
-                    }
-                }
-                None => {
-                    state.pending += 1;
-                    waiters.entry(tag).or_default().push(seq);
-                }
-            }
-        };
 
         // Source operands through the rename map. This instruction's
         // cluster is its sequence parity (round-robin slotting).
         let my_cluster = (seq % 2) as u8;
         for src in inst.sources().into_iter().flatten() {
             let phys = self.rename.current(src);
-            if self.unissued.contains(&phys) {
-                track(WaitTag::Reg(phys), None, &mut state, &mut self.waiters);
+            if self.unissued_test(phys) {
+                // Producer not yet issued: subscribe to its wakeup.
+                state.pending += 1;
+                self.reg_waiters[phys as usize].push(seq);
             } else {
-                let info = self.value_ready.get(&phys).copied().unwrap_or(ValueInfo {
-                    ready: 0,
-                    cluster: u8::MAX,
-                    kind: ValueKind::Exec,
-                });
+                let info = self.value_ready[phys as usize];
                 let cross = self.cfg.cross_cluster_penalty > 0
                     && info.cluster != u8::MAX
                     && info.cluster != my_cluster;
@@ -735,12 +783,10 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 } else {
                     info.ready
                 };
-                track(
-                    WaitTag::Reg(phys),
-                    Some((t, info.kind)),
-                    &mut state,
-                    &mut self.waiters,
-                );
+                if t > state.acc {
+                    state.acc = t;
+                    state.kind = Some(info.kind);
+                }
             }
         }
 
@@ -757,12 +803,8 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             {
                 if data_ready == u64::MAX {
                     // Store not executed yet: gate the load on it.
-                    track(
-                        WaitTag::Store(store_seq),
-                        None,
-                        &mut state,
-                        &mut self.waiters,
-                    );
+                    state.pending += 1;
+                    self.store_waiters.entry(store_seq).or_default().push(seq);
                 }
             }
             load_source = Some(src);
@@ -778,7 +820,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             Some(d) => {
                 let old = self.rename.current(d);
                 let new = self.rename.rename_dest(d).expect("free register checked");
-                self.unissued.insert(new);
+                self.unissued_set(new);
                 (Some(new), Some(old))
             }
             None => (None, None),
@@ -789,17 +831,16 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         if mispredicted {
             self.mispredicted_seq = None;
         }
-        self.inflight.insert(
-            seq,
-            Inflight {
-                op,
-                dest,
-                mem_addr: inst.mem_addr,
-                mispredicted,
-                load_source,
-                cluster: my_cluster,
-            },
-        );
+        let slot = (seq as usize) % self.inflight.len();
+        debug_assert!(self.inflight[slot].is_none(), "inflight ring collision");
+        self.inflight[slot] = Some(Inflight {
+            op,
+            dest,
+            mem_addr: inst.mem_addr,
+            mispredicted,
+            load_source,
+            cluster: my_cluster,
+        });
 
         let ready_at = if state.pending == 0 {
             if let Some(k) = state.kind {

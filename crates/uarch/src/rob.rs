@@ -101,19 +101,29 @@ impl ReorderBuffer {
 
     /// Pops up to `width` head entries whose results are complete by
     /// `cycle`, returning them in commit order.
+    #[must_use]
     pub fn commit_ready(&mut self, cycle: u64, width: usize) -> Vec<RobEntry> {
         let mut out = Vec::new();
-        while out.len() < width {
+        self.commit_ready_into(cycle, width, &mut out);
+        out
+    }
+
+    /// [`commit_ready`](Self::commit_ready) into a caller-owned buffer
+    /// (appended, not cleared); cores reuse one buffer across cycles to
+    /// keep the commit stage allocation-free.
+    pub fn commit_ready_into(&mut self, cycle: u64, width: usize, out: &mut Vec<RobEntry>) {
+        let mut popped = 0;
+        while popped < width {
             match self.entries.front() {
                 Some(head) if head.complete_at <= cycle => {
                     let e = self.entries.pop_front().expect("checked front");
                     self.next_committed_seq = e.seq + 1;
                     out.push(e);
+                    popped += 1;
                 }
                 _ => break,
             }
         }
-        out
     }
 
     /// Sequence number of the next instruction to commit.

@@ -167,6 +167,10 @@ impl WindowModel for SegmentedWindow {
         }
     }
 
+    fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>) {
+        out.extend(self.select(now, budget));
+    }
+
     fn select(&mut self, now: u64, budget: &mut IssueBudget) -> Vec<WindowEntry> {
         // Candidate positions this cycle, oldest first, respecting the
         // select organization.

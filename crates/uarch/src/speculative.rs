@@ -123,6 +123,10 @@ impl WindowModel for SpeculativeWindow {
         }
     }
 
+    fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>) {
+        out.extend(self.select(now, budget));
+    }
+
     fn select(&mut self, now: u64, budget: &mut IssueBudget) -> Vec<WindowEntry> {
         // Pass 1: arbitration among entries that assert availability.
         let mut out = Vec::new();

@@ -105,7 +105,16 @@ pub trait WindowModel: std::fmt::Debug {
 
     /// Selects and removes up to the budgeted number of ready instructions
     /// at cycle `now`, oldest first.
-    fn select(&mut self, now: u64, budget: &mut IssueBudget) -> Vec<WindowEntry>;
+    fn select(&mut self, now: u64, budget: &mut IssueBudget) -> Vec<WindowEntry> {
+        let mut out = Vec::new();
+        self.select_into(now, budget, &mut out);
+        out
+    }
+
+    /// [`select`](Self::select) into a caller-owned buffer (appended, not
+    /// cleared). Cores call select once per cycle on the simulated hot
+    /// path; reusing one buffer keeps that path allocation-free.
+    fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>);
 
     /// Lowers the ready time of entry `seq` to `ready_at` (used by cores
     /// that insert entries with `u64::MAX` while producers are unissued and
@@ -198,9 +207,8 @@ impl WindowModel for ConventionalWindow {
         }
     }
 
-    fn select(&mut self, now: u64, budget: &mut IssueBudget) -> Vec<WindowEntry> {
+    fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>) {
         let wake = self.wakeup_latency - 1;
-        let mut out = Vec::new();
         let mut i = 0;
         while i < self.entries.len() {
             if budget.total == 0 {
@@ -213,7 +221,6 @@ impl WindowModel for ConventionalWindow {
                 i += 1;
             }
         }
-        out
     }
 
     fn visible_ready(&self, now: u64) -> usize {

@@ -35,7 +35,7 @@ fn usage() -> ExitCode {
          commands:\n\
            table3                          print the structure/operation latency table\n\
            sweep [--core ooo|inorder] [--overhead F] [--warmup N] [--measure N]\n\
-                 [--bench NAME[,NAME...]] [--csv]\n\
+                 [--bench NAME[,NAME...]] [--csv] [--jobs N]\n\
            bench NAME [--t-useful F] [--warmup N] [--measure N]\n\
            record NAME COUNT [FILE]        capture a synthetic trace (default stdout)\n\
            replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
@@ -43,8 +43,12 @@ fn usage() -> ExitCode {
            floorplan                       structure areas and wire distances\n\
            experiments                     list the paper's experiments\n\
            report [--core ooo|inorder] [--bench NAME[,NAME...]] [--points F[,F...]]\n\
-                  [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE]\n\
-                  emit a machine-readable JSON run report (counters + CPI stacks)"
+                  [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE] [--jobs N]\n\
+                  emit a machine-readable JSON run report (counters + CPI stacks)\n\
+           perf [--quick] [--jobs N] [--out FILE]\n\
+                  time the fixed OOO sweep workload; emit a JSON bench report\n\
+         `--jobs N` sizes the shared execution pool (1 = serial); the\n\
+         FO4DEPTH_THREADS env var sets the default"
     );
     ExitCode::from(2)
 }
@@ -76,6 +80,21 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+/// Applies `--jobs N` to the shared execution pool. Must run before the
+/// first pool use; a pool that is already built at a different size cannot
+/// be resized, so that case warns instead of silently mis-running.
+fn take_jobs(args: &mut Vec<String>) {
+    if let Some(n) = take_opt::<usize>(args, "--jobs") {
+        if n == 0 {
+            eprintln!("--jobs needs a positive value");
+            std::process::exit(2);
+        }
+        if !fo4depth::exec::set_global_threads(n) {
+            eprintln!("warning: execution pool already running; --jobs {n} ignored");
+        }
+    }
+}
+
 fn params_from(args: &mut Vec<String>) -> SimParams {
     let mut p = SimParams {
         warmup: 10_000,
@@ -95,6 +114,7 @@ fn params_from(args: &mut Vec<String>) -> SimParams {
 }
 
 fn cmd_sweep(mut args: Vec<String>) -> ExitCode {
+    take_jobs(&mut args);
     let core = match take_opt::<String>(&mut args, "--core").as_deref() {
         None | Some("ooo") => CoreKind::OutOfOrder,
         Some("inorder") => CoreKind::InOrder,
@@ -255,6 +275,7 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
 }
 
 fn cmd_report(mut args: Vec<String>) -> ExitCode {
+    take_jobs(&mut args);
     let core = match take_opt::<String>(&mut args, "--core").as_deref() {
         None | Some("ooo") => CoreKind::OutOfOrder,
         Some("inorder") => CoreKind::InOrder,
@@ -319,6 +340,107 @@ fn cmd_report(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The fixed benchmarking workload: the full out-of-order depth sweep at
+/// the paper's overhead, timed wall-clock, reported as deterministic-schema
+/// JSON so CI can track simulation throughput run-over-run.
+fn cmd_perf(mut args: Vec<String>) -> ExitCode {
+    use fo4depth::util::json::Json;
+
+    take_jobs(&mut args);
+    let quick = take_flag(&mut args, "--quick");
+    let out_path = take_opt::<String>(&mut args, "--out");
+    let params = if quick {
+        SimParams {
+            warmup: 2_000,
+            measure: 8_000,
+            seed: 1,
+        }
+    } else {
+        SimParams {
+            warmup: 10_000,
+            measure: 40_000,
+            seed: 1,
+        }
+    };
+    let profs = profiles::all();
+    let points = standard_points();
+    let start = std::time::Instant::now();
+    let sweep = depth_sweep_with(
+        CoreKind::OutOfOrder,
+        &profs,
+        &params,
+        &StructureSet::alpha_21264(),
+        Fo4::new(1.8),
+        &points,
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let (mut cycles, mut instructions) = (0u64, 0u64);
+    for p in &sweep.points {
+        for o in &p.outcomes {
+            cycles += o.result.cycles;
+            instructions += o.result.instructions;
+        }
+    }
+    let (opt_t, opt_bips) = sweep.optimum(None);
+    let doc = Json::obj(vec![
+        ("schema_version", Json::Int(1)),
+        (
+            "workload",
+            Json::obj(vec![
+                ("core", Json::str("ooo")),
+                (
+                    "points",
+                    Json::Arr(points.iter().map(|t| Json::Num(t.get())).collect()),
+                ),
+                (
+                    "benchmarks",
+                    Json::Arr(profs.iter().map(|p| Json::str(&p.name)).collect()),
+                ),
+                ("warmup", Json::uint(params.warmup)),
+                ("measure", Json::uint(params.measure)),
+                ("seed", Json::uint(params.seed)),
+            ]),
+        ),
+        (
+            "jobs",
+            Json::uint(fo4depth::exec::global().threads() as u64),
+        ),
+        ("wall_seconds", Json::Num(wall)),
+        ("simulated_cycles", Json::uint(cycles)),
+        ("simulated_instructions", Json::uint(instructions)),
+        (
+            "simulated_cycles_per_second",
+            Json::Num(cycles as f64 / wall),
+        ),
+        (
+            "simulated_instructions_per_second",
+            Json::Num(instructions as f64 / wall),
+        ),
+        (
+            "optimum",
+            Json::obj(vec![
+                ("t_useful", Json::Num(opt_t)),
+                ("bips", Json::Num(opt_bips)),
+            ]),
+        ),
+    ]);
+    let text = doc.pretty();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {path}: {wall:.3} s wall, {:.0} simulated cycles/s",
+                cycles as f64 / wall
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_floorplan() -> ExitCode {
     let plan = Floorplan::of(
         &fo4depth::study::capacity::CapacityChoice::base(),
@@ -377,6 +499,7 @@ fn main() -> ExitCode {
         }
         "floorplan" => cmd_floorplan(),
         "report" => cmd_report(args),
+        "perf" => cmd_perf(args),
         "experiments" => {
             for e in registry() {
                 println!(

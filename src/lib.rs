@@ -16,6 +16,7 @@
 //! | [`uarch`] | predictors, caches, rename, ROB, LSQ, conventional + segmented issue windows (§5) |
 //! | [`pipeline`] | cycle-level in-order (§4.1) and out-of-order (§4.3) cores |
 //! | [`study`] | the paper's methodology: Table 3 generation, depth sweeps, all experiments |
+//! | [`exec`] | persistent work-stealing pool behind every study-level fan-out |
 //! | [`util`] | deterministic PRNG, distributions, statistics |
 //!
 //! This umbrella crate re-exports everything; depend on the individual
@@ -36,6 +37,7 @@
 
 pub use fo4depth_cacti as cacti;
 pub use fo4depth_circuit as circuit;
+pub use fo4depth_exec as exec;
 pub use fo4depth_fo4 as fo4;
 pub use fo4depth_isa as isa;
 pub use fo4depth_pipeline as pipeline;
