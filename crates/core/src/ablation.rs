@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::latency::{StructureSet, MEMORY_CYCLES, MEMORY_LATENCY_FO4};
 use crate::scaler::{MemoryConvention, ScaleOptions, ScaledMachine};
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 use crate::sweep::{CoreKind, DepthSweep, SweepPoint};
 
 // ---------------------------------------------------------------------
@@ -103,10 +103,11 @@ pub struct SchedulerResult {
 #[must_use]
 pub fn scheduler_comparison(profiles: &[BenchProfile], params: &SimParams) -> Vec<SchedulerResult> {
     assert!(!profiles.is_empty(), "need benchmarks");
+    let arenas = arenas_for(profiles, params);
     let ipc_of = |design: SchedulerDesign| -> f64 {
         let mut cfg = CoreConfig::alpha_like();
         cfg.window = design.window();
-        let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
+        let outcomes = run_set(&arenas, |a| run_ooo(&cfg, a, params));
         harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC")
     };
     let baseline = ipc_of(SchedulerDesign::IdealSingleCycle);
@@ -140,11 +141,12 @@ pub fn sweep_with_options(
     options: ScaleOptions,
 ) -> DepthSweep {
     let structures = StructureSet::alpha_21264();
+    let arenas = arenas_for(profiles, params);
     let points = points
         .iter()
         .map(|&t| {
             let machine = ScaledMachine::with_options(&structures, t, options);
-            let outcomes = run_set(profiles, |p| run_ooo(&machine.config, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&machine.config, a, params));
             SweepPoint {
                 t_useful: t.get(),
                 period_ps: machine.period_ps(),
@@ -274,12 +276,13 @@ pub fn predictor_ablation(profiles: &[BenchProfile], params: &SimParams) -> Vec<
             },
         ),
     ];
+    let arenas = arenas_for(profiles, params);
     designs
         .into_iter()
         .map(|(label, predictor)| {
             let mut cfg = CoreConfig::alpha_like();
             cfg.predictor = predictor;
-            let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&cfg, a, params));
             PredictorPoint {
                 label: label.to_string(),
                 ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),
@@ -311,12 +314,13 @@ pub fn cluster_ablation(
     params: &SimParams,
     penalties: &[u64],
 ) -> Vec<ClusterPoint> {
+    let arenas = arenas_for(profiles, params);
     penalties
         .iter()
         .map(|&penalty| {
             let mut cfg = CoreConfig::alpha_like();
             cfg.cross_cluster_penalty = penalty;
-            let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&cfg, a, params));
             ClusterPoint {
                 penalty,
                 ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),
@@ -342,12 +346,13 @@ pub fn mshr_ablation(
     params: &SimParams,
     limits: &[usize],
 ) -> Vec<MshrPoint> {
+    let arenas = arenas_for(profiles, params);
     limits
         .iter()
         .map(|&mshr_limit| {
             let mut cfg = CoreConfig::alpha_like();
             cfg.hierarchy.mshr_limit = mshr_limit;
-            let outcomes = run_set(profiles, |p| run_ooo(&cfg, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&cfg, a, params));
             MshrPoint {
                 mshr_limit,
                 ipc: harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPC"),

@@ -9,13 +9,15 @@
 //! The paper reports ≈ +14 % average BIPS, with the optimum still at
 //! 6 FO4 of useful logic.
 
+use std::sync::Arc;
+
 use fo4depth_fo4::Fo4;
-use fo4depth_workload::BenchProfile;
+use fo4depth_workload::{BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
-use crate::sim::{run_ooo, run_set, summarize, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, summarize, SimParams};
 use crate::sweep::{standard_points, CoreKind, DepthSweep, SweepPoint};
 
 /// Candidate D-cache capacities (bytes).
@@ -64,12 +66,12 @@ fn score(
     choice: &CapacityChoice,
     t: Fo4,
     overhead: Fo4,
-    profiles: &[BenchProfile],
+    arenas: &[Arc<TraceArena>],
     params: &SimParams,
 ) -> f64 {
     let machine =
         ScaledMachine::with_window_entries(&choice.structures(), t, overhead, choice.window);
-    let outcomes = run_set(profiles, |p| run_ooo(&machine.config, p, params));
+    let outcomes = run_set(arenas, |a| run_ooo(&machine.config, a, params));
     summarize(&outcomes, None, machine.period_ps())
         .expect("non-empty profile set")
         .bips
@@ -85,6 +87,17 @@ pub fn optimize_at(
     profiles: &[BenchProfile],
     params: &SimParams,
 ) -> CapacityChoice {
+    optimize_at_arenas(t, overhead, &arenas_for(profiles, params), params)
+}
+
+/// [`optimize_at`] over pre-materialized arenas, so a multi-point study
+/// shares one trace set across the whole coordinate search.
+fn optimize_at_arenas(
+    t: Fo4,
+    overhead: Fo4,
+    arenas: &[Arc<TraceArena>],
+    params: &SimParams,
+) -> CapacityChoice {
     let mut best = CapacityChoice::base();
 
     let mut best_dcache = (f64::NEG_INFINITY, best.dcache);
@@ -93,7 +106,7 @@ pub fn optimize_at(
             &CapacityChoice { dcache: d, ..best },
             t,
             overhead,
-            profiles,
+            arenas,
             params,
         );
         if s > best_dcache.0 {
@@ -108,7 +121,7 @@ pub fn optimize_at(
             &CapacityChoice { l2: c, ..best },
             t,
             overhead,
-            profiles,
+            arenas,
             params,
         );
         if s > best_l2.0 {
@@ -123,7 +136,7 @@ pub fn optimize_at(
             &CapacityChoice { window: w, ..best },
             t,
             overhead,
-            profiles,
+            arenas,
             params,
         );
         if s > best_window.0 {
@@ -141,7 +154,7 @@ pub fn optimize_at(
             },
             t,
             overhead,
-            profiles,
+            arenas,
             params,
         );
         if s > best_pred.0 {
@@ -210,13 +223,14 @@ pub fn capacity_study_with(
         points,
     );
 
+    let arenas = arenas_for(profiles, params);
     let mut optimized_points = Vec::with_capacity(points.len());
     let mut choices = Vec::with_capacity(points.len());
     for &t in points {
-        let choice = optimize_at(t, overhead, profiles, params);
+        let choice = optimize_at_arenas(t, overhead, &arenas, params);
         let machine =
             ScaledMachine::with_window_entries(&choice.structures(), t, overhead, choice.window);
-        let outcomes = run_set(profiles, |p| run_ooo(&machine.config, p, params));
+        let outcomes = run_set(&arenas, |a| run_ooo(&machine.config, a, params));
         optimized_points.push(SweepPoint {
             t_useful: t.get(),
             period_ps: machine.period_ps(),

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::latency::{StructureSet, ALPHA_USEFUL_FO4};
 use crate::scaler::ScaledMachine;
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 use crate::sweep::{standard_points, CoreKind, DepthSweep, SweepPoint};
 
 /// Absolute latency of the CRAY-like flat memory, in FO4: 12 cycles at the
@@ -44,13 +44,14 @@ pub fn cray_memory_sweep_with(
 ) -> DepthSweep {
     let structures = StructureSet::alpha_21264();
     let overhead = Fo4::new(1.8);
+    let arenas = arenas_for(profiles, params);
     let points = points
         .iter()
         .map(|&t| {
             let mut machine = ScaledMachine::at(&structures, t, overhead);
             let mem_cycles = cycles_for(Fo4::new(CRAY_MEMORY_FO4), t);
             machine.config.hierarchy = HierarchyConfig::flat_memory(u64::from(mem_cycles));
-            let outcomes = run_set(profiles, |p| run_ooo(&machine.config, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&machine.config, a, params));
             SweepPoint {
                 t_useful: t.get(),
                 period_ps: machine.period_ps(),

@@ -19,7 +19,7 @@ use fo4depth_util::harmonic_mean;
 use fo4depth_workload::BenchProfile;
 use serde::{Deserialize, Serialize};
 
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 
 /// The three §4.6 critical loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -119,9 +119,10 @@ pub fn critical_loops_with(
 ) -> Vec<LoopCurve> {
     assert_eq!(stretches.first(), Some(&0), "first stretch must be zero");
     let base = CoreConfig::alpha_like();
+    let arenas = arenas_for(profiles, params);
 
     let mean_ipc = |cfg: &CoreConfig| -> f64 {
-        let outcomes = run_set(profiles, |p| run_ooo(cfg, p, params));
+        let outcomes = run_set(&arenas, |a| run_ooo(cfg, a, params));
         harmonic_mean(outcomes.iter().map(|o| o.result.ipc())).expect("positive IPCs")
     };
     let baseline = mean_ipc(&base);

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 
 /// Energy coefficients (all in picojoules at 100 nm).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,11 +114,12 @@ pub fn power_sweep(
     energy: &EnergyModel,
 ) -> Vec<PowerPoint> {
     let structures = StructureSet::alpha_21264();
+    let arenas = arenas_for(profiles, params);
     points
         .iter()
         .map(|&t| {
             let machine = ScaledMachine::at(&structures, t, Fo4::new(1.8));
-            let outcomes = run_set(profiles, |p| run_ooo(&machine.config, p, params));
+            let outcomes = run_set(&arenas, |a| run_ooo(&machine.config, a, params));
 
             // Per-benchmark energy/instruction, then aggregate.
             let mut epi_pj = Vec::new();

@@ -1,12 +1,14 @@
 //! Segmented-window experiments — Figure 11 and the §5.2 evaluation.
 
+use std::sync::Arc;
+
 use fo4depth_pipeline::{CoreConfig, WindowConfig};
 use fo4depth_uarch::segmented::SelectMode;
 use fo4depth_util::harmonic_mean;
-use fo4depth_workload::{BenchClass, BenchProfile};
+use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 
 /// Figure 11: IPC (relative to a 1-stage window) of a 32-entry window
 /// pipelined into 1–10 wakeup stages, with ideal (full-window) selection.
@@ -37,20 +39,20 @@ fn config_with_window(window: WindowConfig) -> CoreConfig {
 }
 
 fn class_ipc(
-    profiles: &[BenchProfile],
+    arenas: &[Arc<TraceArena>],
     cfg: &CoreConfig,
     params: &SimParams,
     class: BenchClass,
 ) -> Option<f64> {
-    let selected: Vec<BenchProfile> = profiles
+    let selected: Vec<Arc<TraceArena>> = arenas
         .iter()
-        .filter(|p| p.class == class)
+        .filter(|a| a.profile().class == class)
         .cloned()
         .collect();
     if selected.is_empty() {
         return None;
     }
-    let outcomes = run_set(&selected, |p| run_ooo(cfg, p, params));
+    let outcomes = run_set(&selected, |a| run_ooo(cfg, a, params));
     harmonic_mean(outcomes.iter().map(|o| o.result.ipc()))
 }
 
@@ -75,6 +77,7 @@ pub fn window_depth_sweep(
     .into_iter()
     .filter(|&c| profiles.iter().any(|p| p.class == c))
     .collect();
+    let arenas = arenas_for(profiles, params);
 
     // Absolute IPC per (stage count, class).
     let ipc_table: Vec<Vec<f64>> = stage_counts
@@ -87,7 +90,7 @@ pub fn window_depth_sweep(
             });
             classes
                 .iter()
-                .map(|&class| class_ipc(profiles, &cfg, params, class).expect("class present"))
+                .map(|&class| class_ipc(&arenas, &cfg, params, class).expect("class present"))
                 .collect()
         })
         .collect();
@@ -140,6 +143,7 @@ pub fn select_eval(profiles: &[BenchProfile], params: &SimParams) -> Vec<SelectE
         stages: 4,
         select: SelectMode::figure12(),
     });
+    let arenas = arenas_for(profiles, params);
     [
         BenchClass::Integer,
         BenchClass::VectorFp,
@@ -147,8 +151,8 @@ pub fn select_eval(profiles: &[BenchProfile], params: &SimParams) -> Vec<SelectE
     ]
     .into_iter()
     .filter_map(|class| {
-        let conv = class_ipc(profiles, &conventional, params, class)?;
-        let seg = class_ipc(profiles, &segmented, params, class)?;
+        let conv = class_ipc(&arenas, &conventional, params, class)?;
+        let seg = class_ipc(&arenas, &segmented, params, class)?;
         Some(SelectEval {
             class,
             conventional_ipc: conv,

@@ -1,10 +1,18 @@
 //! Simulation driving and aggregation: run benchmark sets through a core
 //! configuration and summarize per paper conventions (harmonic-mean BIPS
 //! per benchmark class).
+//!
+//! Runs are driven from materialized [`TraceArena`]s: the instruction
+//! stream for each `(profile, seed)` is generated once (see
+//! [`arenas_for`]) and replayed by cursor in every simulation that needs
+//! it, so sweeping many machine configurations over the same benchmark
+//! set pays the trace-synthesis cost once instead of per cell.
+
+use std::sync::Arc;
 
 use fo4depth_pipeline::{CoreConfig, Counters, InOrderCore, OutOfOrderCore, SimResult};
 use fo4depth_util::harmonic_mean;
-use fo4depth_workload::{BenchClass, BenchProfile, TraceGenerator};
+use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
 /// Instruction counts and seeding for one simulation.
@@ -52,6 +60,43 @@ impl SimParams {
             seed: 1,
         }
     }
+
+    /// Number of instructions a [`TraceArena`] should materialize to cover
+    /// a run with these parameters: warm-up plus measurement plus the
+    /// deepest plausible fetch-ahead (fetched but never committed
+    /// instructions — bounded by the fetch queue, window, and ROB, all far
+    /// below this slack). A cursor that outruns the arena anyway falls
+    /// back to streaming, so this is a performance bound, not a
+    /// correctness one.
+    #[must_use]
+    pub fn trace_len(&self) -> usize {
+        (self.warmup + self.measure) as usize + 4_096
+    }
+}
+
+/// Materializes one [`TraceArena`] per profile at these parameters'
+/// seed and length, in parallel on the shared execution pool. The result
+/// is positionally aligned with `profiles` and deterministic at any pool
+/// size.
+#[must_use]
+pub fn arenas_for(profiles: &[BenchProfile], params: &SimParams) -> Vec<Arc<TraceArena>> {
+    arenas_for_on(profiles, params, fo4depth_exec::global())
+}
+
+/// [`arenas_for`] on an explicit pool.
+#[must_use]
+pub fn arenas_for_on(
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    pool: &fo4depth_exec::Pool,
+) -> Vec<Arc<TraceArena>> {
+    if profiles.is_empty() {
+        return Vec::new();
+    }
+    let len = params.trace_len();
+    pool.map(profiles, |p| {
+        Arc::new(TraceArena::generate(p.clone(), params.seed, len))
+    })
 }
 
 /// One benchmark's outcome at one machine configuration.
@@ -67,34 +112,35 @@ pub struct BenchOutcome {
     pub counters: Option<Counters>,
 }
 
-/// Runs one profile on the out-of-order core.
+/// Runs one materialized trace on the out-of-order core.
 #[must_use]
-pub fn run_ooo(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
-    run_ooo_inner(cfg, profile, params, false)
+pub fn run_ooo(cfg: &CoreConfig, trace: &Arc<TraceArena>, params: &SimParams) -> BenchOutcome {
+    run_ooo_inner(cfg, trace, params, false)
 }
 
-/// Runs one profile on the out-of-order core with stall-attribution
-/// counters collected over the measured interval. Observation is read-only:
-/// `result` is bit-identical to the unobserved [`run_ooo`].
+/// Runs one materialized trace on the out-of-order core with
+/// stall-attribution counters collected over the measured interval.
+/// Observation is read-only: `result` is bit-identical to the unobserved
+/// [`run_ooo`].
 #[must_use]
 pub fn run_ooo_observed(
     cfg: &CoreConfig,
-    profile: &BenchProfile,
+    trace: &Arc<TraceArena>,
     params: &SimParams,
 ) -> BenchOutcome {
-    run_ooo_inner(cfg, profile, params, true)
+    run_ooo_inner(cfg, trace, params, true)
 }
 
 fn run_ooo_inner(
     cfg: &CoreConfig,
-    profile: &BenchProfile,
+    trace: &Arc<TraceArena>,
     params: &SimParams,
     observe: bool,
 ) -> BenchOutcome {
-    let trace = TraceGenerator::new(profile.clone(), params.seed);
-    let prewarm = trace.prewarm_addresses();
-    let mut core = OutOfOrderCore::new(cfg.clone(), trace);
-    core.prewarm(prewarm);
+    let profile = trace.profile();
+    let (name, class) = (profile.name.clone(), profile.class);
+    let mut core = OutOfOrderCore::new(cfg.clone(), trace.cursor());
+    core.prewarm(trace.prewarm_addresses().iter().copied());
     core.run(params.warmup);
     if observe {
         core.enable_counters();
@@ -102,39 +148,40 @@ fn run_ooo_inner(
     let result = core.run(params.measure);
     let counters = core.take_counters();
     BenchOutcome {
-        name: profile.name.clone(),
-        class: profile.class,
+        name,
+        class,
         result,
         counters,
     }
 }
 
-/// Runs one profile on the in-order core.
+/// Runs one materialized trace on the in-order core.
 #[must_use]
-pub fn run_inorder(cfg: &CoreConfig, profile: &BenchProfile, params: &SimParams) -> BenchOutcome {
-    run_inorder_inner(cfg, profile, params, false)
+pub fn run_inorder(cfg: &CoreConfig, trace: &Arc<TraceArena>, params: &SimParams) -> BenchOutcome {
+    run_inorder_inner(cfg, trace, params, false)
 }
 
-/// Runs one profile on the in-order core with stall-attribution counters.
+/// Runs one materialized trace on the in-order core with stall-attribution
+/// counters.
 #[must_use]
 pub fn run_inorder_observed(
     cfg: &CoreConfig,
-    profile: &BenchProfile,
+    trace: &Arc<TraceArena>,
     params: &SimParams,
 ) -> BenchOutcome {
-    run_inorder_inner(cfg, profile, params, true)
+    run_inorder_inner(cfg, trace, params, true)
 }
 
 fn run_inorder_inner(
     cfg: &CoreConfig,
-    profile: &BenchProfile,
+    trace: &Arc<TraceArena>,
     params: &SimParams,
     observe: bool,
 ) -> BenchOutcome {
-    let trace = TraceGenerator::new(profile.clone(), params.seed);
-    let prewarm = trace.prewarm_addresses();
-    let mut core = InOrderCore::new(cfg.clone(), trace);
-    core.prewarm(prewarm);
+    let profile = trace.profile();
+    let (name, class) = (profile.name.clone(), profile.class);
+    let mut core = InOrderCore::new(cfg.clone(), trace.cursor());
+    core.prewarm(trace.prewarm_addresses().iter().copied());
     core.run(params.warmup);
     if observe {
         core.enable_counters();
@@ -142,25 +189,27 @@ fn run_inorder_inner(
     let result = core.run(params.measure);
     let counters = core.take_counters();
     BenchOutcome {
-        name: profile.name.clone(),
-        class: profile.class,
+        name,
+        class,
         result,
         counters,
     }
 }
 
-/// Runs a set of profiles in parallel on the shared execution pool
-/// (simulations are independent and CPU-bound). Results come back in
-/// input order and are bit-identical at any pool size.
+/// Runs a set of simulations in parallel on the shared execution pool
+/// (they are independent and CPU-bound). `items` is typically a slice of
+/// [`Arc<TraceArena>`] from [`arenas_for`]. Results come back in input
+/// order and are bit-identical at any pool size.
 #[must_use]
-pub fn run_set<F>(profiles: &[BenchProfile], run_one: F) -> Vec<BenchOutcome>
+pub fn run_set<T, F>(items: &[T], run_one: F) -> Vec<BenchOutcome>
 where
-    F: Fn(&BenchProfile) -> BenchOutcome + Sync,
+    T: Sync,
+    F: Fn(&T) -> BenchOutcome + Sync,
 {
-    if profiles.is_empty() {
+    if items.is_empty() {
         return Vec::new();
     }
-    fo4depth_exec::global().map(profiles, run_one)
+    fo4depth_exec::global().map(items, run_one)
 }
 
 /// Per-class aggregate of a benchmark set at one clock point.
@@ -215,17 +264,46 @@ mod tests {
             seed: 3,
         };
         let profs: Vec<_> = profiles::all().into_iter().take(4).collect();
-        let parallel = run_set(&profs, |p| run_ooo(&cfg, p, &params));
-        for (i, p) in profs.iter().enumerate() {
-            let serial = run_ooo(&cfg, p, &params);
-            assert_eq!(parallel[i], serial, "{} differs", p.name);
+        let arenas = arenas_for(&profs, &params);
+        let parallel = run_set(&arenas, |a| run_ooo(&cfg, a, &params));
+        for (i, a) in arenas.iter().enumerate() {
+            let serial = run_ooo(&cfg, a, &params);
+            assert_eq!(parallel[i], serial, "{} differs", a.profile().name);
         }
     }
 
     #[test]
     fn empty_profile_set_short_circuits() {
-        let out = run_set(&[], |_| unreachable!("no profiles, no runs"));
+        assert!(arenas_for(&[], &SimParams::quick()).is_empty());
+        let out = run_set::<Arc<TraceArena>, _>(&[], |_| unreachable!("no profiles, no runs"));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shared_arena_runs_match_fresh_arena_runs() {
+        // Sharing one materialized arena across many runs must be
+        // indistinguishable from generating a fresh one per run.
+        let cfg = CoreConfig::alpha_like();
+        let params = SimParams {
+            warmup: 2_000,
+            measure: 6_000,
+            seed: 1,
+        };
+        let p = profiles::by_name("181.mcf").unwrap();
+        let shared = Arc::new(TraceArena::generate(
+            p.clone(),
+            params.seed,
+            params.trace_len(),
+        ));
+        let a = run_ooo(&cfg, &shared, &params);
+        let b = run_ooo(&cfg, &shared, &params);
+        let fresh = run_ooo(
+            &cfg,
+            &Arc::new(TraceArena::generate(p, params.seed, params.trace_len())),
+            &params,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
     }
 
     #[test]
@@ -240,7 +318,8 @@ mod tests {
             profiles::by_name("164.gzip").unwrap(),
             profiles::by_name("171.swim").unwrap(),
         ];
-        let outcomes = run_set(&profs, |p| run_ooo(&cfg, p, &params));
+        let arenas = arenas_for(&profs, &params);
+        let outcomes = run_set(&arenas, |a| run_ooo(&cfg, a, &params));
         let int = summarize(&outcomes, Some(BenchClass::Integer), 1000.0).unwrap();
         assert_eq!(int.count, 1);
         let all = summarize(&outcomes, None, 1000.0).unwrap();
@@ -252,11 +331,8 @@ mod tests {
     fn bips_scales_inversely_with_period() {
         let cfg = CoreConfig::alpha_like();
         let params = SimParams::quick();
-        let o = vec![run_ooo(
-            &cfg,
-            &profiles::by_name("164.gzip").unwrap(),
-            &params,
-        )];
+        let arenas = arenas_for(&[profiles::by_name("164.gzip").unwrap()], &params);
+        let o = vec![run_ooo(&cfg, &arenas[0], &params)];
         let fast = summarize(&o, None, 500.0).unwrap();
         let slow = summarize(&o, None, 1000.0).unwrap();
         assert!((fast.bips / slow.bips - 2.0).abs() < 1e-9);

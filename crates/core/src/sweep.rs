@@ -5,15 +5,17 @@
 //! class. The maximum of each curve is the class's optimal logic depth per
 //! stage.
 
+use std::sync::Arc;
+
 use fo4depth_fo4::Fo4;
-use fo4depth_workload::{BenchClass, BenchProfile};
+use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
 use crate::sim::{
-    run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, summarize, BenchOutcome,
-    SimParams,
+    arenas_for_on, run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, summarize,
+    BenchOutcome, SimParams,
 };
 
 /// Which core model a sweep exercises.
@@ -176,13 +178,60 @@ pub fn depth_sweep_observed(
     )
 }
 
-/// Runs a sweep on an explicit pool. The whole (point × benchmark) grid is
-/// flattened into one task set — no join barrier between clock points, so
-/// a straggling benchmark at one point overlaps with work from the next.
-/// Results are assembled in grid order: the sweep is bit-identical at any
-/// pool size, including the single-lane serial path.
+/// Materializes the sweep's benchmark traces on `pool`: one
+/// [`TraceArena`] per profile, generated in parallel, positionally aligned
+/// with `profiles`. Every `(point × benchmark)` cell of the sweep then
+/// replays these shared arenas instead of re-synthesizing the stream.
+#[must_use]
+pub fn build_arenas(
+    profiles: &[BenchProfile],
+    params: &SimParams,
+    pool: &fo4depth_exec::Pool,
+) -> Vec<Arc<TraceArena>> {
+    arenas_for_on(profiles, params, pool)
+}
+
+/// Runs a sweep on an explicit pool. The benchmark traces are materialized
+/// once up front ([`build_arenas`]) and shared — by reference-counted
+/// handle — across every clock point and worker thread; the whole
+/// (point × benchmark) grid is then flattened into one task set with no
+/// join barrier between clock points, so a straggling benchmark at one
+/// point overlaps with work from the next. Results are assembled in grid
+/// order: the sweep is bit-identical at any pool size, including the
+/// single-lane serial path.
 #[must_use]
 pub fn depth_sweep_spec(spec: &SweepSpec<'_>, pool: &fo4depth_exec::Pool) -> DepthSweep {
+    let arenas = build_arenas(spec.profiles, spec.params, pool);
+    depth_sweep_arenas(spec, &arenas, pool)
+}
+
+/// [`depth_sweep_spec`] over pre-materialized arenas (one per profile of
+/// the spec, in order). Split out so callers timing the sweep — or running
+/// several sweeps over the same benchmark set, like the two-core `perf`
+/// workload — can account for (and amortize) trace generation separately
+/// from simulation.
+///
+/// # Panics
+///
+/// Panics if `arenas` is not positionally aligned with `spec.profiles`.
+#[must_use]
+pub fn depth_sweep_arenas(
+    spec: &SweepSpec<'_>,
+    arenas: &[Arc<TraceArena>],
+    pool: &fo4depth_exec::Pool,
+) -> DepthSweep {
+    assert_eq!(
+        arenas.len(),
+        spec.profiles.len(),
+        "one arena per profile, in order"
+    );
+    for (arena, profile) in arenas.iter().zip(spec.profiles) {
+        assert_eq!(
+            arena.profile().name,
+            profile.name,
+            "arena/profile misalignment"
+        );
+    }
     let machines: Vec<ScaledMachine> = spec
         .points
         .iter()
@@ -193,12 +242,12 @@ pub fn depth_sweep_spec(spec: &SweepSpec<'_>, pool: &fo4depth_exec::Pool) -> Dep
         .collect();
     let outcomes = pool.map(&grid, |&(pi, bi)| {
         let config = &machines[pi].config;
-        let profile = &spec.profiles[bi];
+        let trace = &arenas[bi];
         match (spec.core, spec.observed) {
-            (CoreKind::InOrder, false) => run_inorder(config, profile, spec.params),
-            (CoreKind::InOrder, true) => run_inorder_observed(config, profile, spec.params),
-            (CoreKind::OutOfOrder, false) => run_ooo(config, profile, spec.params),
-            (CoreKind::OutOfOrder, true) => run_ooo_observed(config, profile, spec.params),
+            (CoreKind::InOrder, false) => run_inorder(config, trace, spec.params),
+            (CoreKind::InOrder, true) => run_inorder_observed(config, trace, spec.params),
+            (CoreKind::OutOfOrder, false) => run_ooo(config, trace, spec.params),
+            (CoreKind::OutOfOrder, true) => run_ooo_observed(config, trace, spec.params),
         }
     });
     let mut outcomes = outcomes.into_iter();

@@ -12,7 +12,7 @@ use fo4depth_pipeline::CoreConfig;
 use fo4depth_workload::{profiles, BenchClass};
 use serde::{Deserialize, Serialize};
 
-use crate::sim::{run_ooo, run_set, SimParams};
+use crate::sim::{arenas_for, run_ooo, run_set, SimParams};
 
 /// Measured characteristics of one benchmark at the Alpha point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,8 +91,8 @@ fn check(row: &ValidationRow, bands: &Bands) -> Option<String> {
 #[must_use]
 pub fn validate_all(params: &SimParams, bands: &Bands) -> Vec<ValidationRow> {
     let cfg = CoreConfig::alpha_like();
-    let profs = profiles::all();
-    run_set(&profs, |p| run_ooo(&cfg, p, params))
+    let arenas = arenas_for(&profiles::all(), params);
+    run_set(&arenas, |a| run_ooo(&cfg, a, params))
         .into_iter()
         .map(|o| {
             let mut row = ValidationRow {

@@ -91,6 +91,30 @@ impl ArchReg {
             RegBank::Fp => usize::from(NUM_ARCH_REGS_PER_BANK) + usize::from(self.index),
         }
     }
+
+    /// The inverse of [`flat_index`](Self::flat_index): reconstructs the
+    /// register name from its dense two-bank index. Used by packed trace
+    /// storage, which keeps one byte per operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[must_use]
+    pub fn from_flat_index(index: usize) -> Self {
+        let per_bank = usize::from(NUM_ARCH_REGS_PER_BANK);
+        if index < per_bank {
+            Self {
+                bank: RegBank::Int,
+                index: index as u8,
+            }
+        } else {
+            assert!(index < 2 * per_bank, "flat register index out of range");
+            Self {
+                bank: RegBank::Fp,
+                index: (index - per_bank) as u8,
+            }
+        }
+    }
 }
 
 impl fmt::Display for ArchReg {
@@ -118,6 +142,21 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_index() {
         let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    fn flat_index_roundtrips() {
+        for i in 0..64 {
+            assert_eq!(ArchReg::from_flat_index(i).flat_index(), i);
+        }
+        assert_eq!(ArchReg::from_flat_index(0), ArchReg::int(0));
+        assert_eq!(ArchReg::from_flat_index(33), ArchReg::fp(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_flat_index() {
+        let _ = ArchReg::from_flat_index(64);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! register pressure a non-factor, and in-order issue bounds in-flight
 //! state by the queue depth anyway).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use fo4depth_isa::{Instruction, OpClass};
 use fo4depth_uarch::branch::{BranchPredictor, Btb, BtbStats};
@@ -28,6 +28,19 @@ use crate::result::SimResult;
 
 /// Cycles without an issue after which the core declares itself wedged.
 const DEADLOCK_LIMIT: u64 = 200_000;
+
+/// Slots in the in-flight value ring (a power of two). A producer's entry
+/// is evicted when the instruction 4096 sequence numbers later executes —
+/// at 4-wide in-order issue that is ≥ 1024 cycles after the producer
+/// issued, far beyond any execution or memory latency, so an evicted
+/// entry's value has always long materialized and eviction is
+/// indistinguishable from the "ready at cycle 0" reading absent entries
+/// get (a debug assertion enforces this).
+const VALUE_RING: usize = 4096;
+
+/// Tag marking an empty value-ring slot (sequence numbers are far below
+/// `u64::MAX` in any feasible run).
+const NO_TAG: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct Queued {
@@ -61,8 +74,13 @@ pub struct InOrderCore<I: Iterator<Item = Instruction>> {
     /// seen by fetch (program order).
     last_writer: [Option<u64>; 64],
     /// Value-ready cycle (and producer classification, for stall
-    /// attribution) of issued producers still in flight.
-    value_ready: HashMap<u64, (u64, ValueKind)>,
+    /// attribution) of issued producers still in flight: a tag-checked
+    /// ring indexed by `seq % VALUE_RING`, replacing a hash map on the
+    /// per-issue critical path. A tag mismatch reads as "ready at 0",
+    /// exactly like the pruned/absent case.
+    value_tags: Box<[u64]>,
+    value_ready_at: Box<[u64]>,
+    value_kinds: Box<[ValueKind]>,
 
     fu: FuPool,
     hierarchy: Hierarchy,
@@ -106,9 +124,11 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             now: 0,
             next_seq: 0,
             issued_count: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(32),
             last_writer: [None; 64],
-            value_ready: HashMap::new(),
+            value_tags: vec![NO_TAG; VALUE_RING].into_boxed_slice(),
+            value_ready_at: vec![0; VALUE_RING].into_boxed_slice(),
+            value_kinds: vec![ValueKind::Exec; VALUE_RING].into_boxed_slice(),
             fetch_halted: false,
             fetch_resume_at: 0,
             recover_until: 0,
@@ -151,6 +171,14 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
     #[must_use]
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// The in-flight entry for producer `seq`, if it is still live in the
+    /// ring. `None` means the value is (or behaves as) long materialized.
+    #[inline]
+    fn value_entry(&self, seq: u64) -> Option<(u64, ValueKind)> {
+        let slot = (seq as usize) & (VALUE_RING - 1);
+        (self.value_tags[slot] == seq).then(|| (self.value_ready_at[slot], self.value_kinds[slot]))
     }
 
     /// Touches `addrs` through the data hierarchy before timing starts
@@ -197,12 +225,6 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         self.issue();
         self.fetch();
         self.now += 1;
-        if self.now.is_multiple_of(4096) {
-            // Entries whose value has long materialized behave identically
-            // to absent ones (ready at 0): prune to bound the map.
-            let now = self.now;
-            self.value_ready.retain(|_, &mut (t, _)| t > now);
-        }
         assert!(
             self.now - self.last_issue_cycle < DEADLOCK_LIMIT,
             "in-order core wedged at cycle {} (queue={})",
@@ -244,7 +266,7 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
                 .producers
                 .iter()
                 .flatten()
-                .all(|p| self.value_ready.get(p).map_or(0, |&(t, _)| t) <= self.now);
+                .all(|&p| self.value_entry(p).map_or(0, |(t, _)| t) <= self.now);
             if !ready {
                 // Head-of-line blocking: nothing younger may pass. Charge
                 // the slots to whatever made the binding producer slow.
@@ -285,10 +307,10 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         head.producers
             .iter()
             .flatten()
-            .filter_map(|p| self.value_ready.get(p))
-            .filter(|&&(t, _)| t > self.now)
-            .max_by_key(|&&(t, _)| t)
-            .map_or(StallCause::DepChain, |&(_, k)| k.stall())
+            .filter_map(|&p| self.value_entry(p))
+            .filter(|&(t, _)| t > self.now)
+            .max_by_key(|&(t, _)| t)
+            .map_or(StallCause::DepChain, |(_, k)| k.stall())
     }
 
     fn execute(&mut self, q: Queued) {
@@ -330,7 +352,14 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             } else {
                 ValueKind::Exec
             };
-            self.value_ready.insert(q.seq, (value_ready, kind));
+            let slot = (q.seq as usize) & (VALUE_RING - 1);
+            debug_assert!(
+                self.value_tags[slot] == NO_TAG || self.value_ready_at[slot] <= self.now,
+                "value ring evicted a still-pending producer"
+            );
+            self.value_tags[slot] = q.seq;
+            self.value_ready_at[slot] = value_ready;
+            self.value_kinds[slot] = kind;
         }
         if q.mispredicted {
             let resolve = self.now + self.cfg.depths.regread + exec;

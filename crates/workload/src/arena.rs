@@ -1,0 +1,342 @@
+//! Materialized trace arenas: generate a benchmark's instruction stream
+//! once, replay it everywhere.
+//!
+//! The depth-sweep grids run the *same* `(profile, seed)` trace at every
+//! clock point — 15 times per benchmark in the headline sweep — and the
+//! streaming [`TraceGenerator`] re-synthesizes it inline each run,
+//! interleaving RNG, address, and branch-site work into the simulator's
+//! per-cycle hot path. A [`TraceArena`] runs the generator exactly once
+//! into a compact, pre-decoded structure-of-arrays buffer; a
+//! [`TraceCursor`] replays it as plain slice reads. Replay is
+//! *instruction-for-instruction identical* to streaming (a tested
+//! invariant), so sharing an arena across sweep points, cores, and worker
+//! threads changes wall time only.
+//!
+//! Storage is 21 bytes per instruction (opcode, flag bits, three packed
+//! operand bytes, PC, and one address-or-target word), independent of the
+//! 64-byte in-memory [`Instruction`] the cores consume — the cursor
+//! re-expands on the fly.
+//!
+//! A cursor is not limited to the materialized prefix: the arena stores
+//! the generator's end state, and a cursor that walks off the end clones
+//! it and keeps streaming. Synthetic traces therefore stay infinite, and
+//! an under-provisioned arena degrades to the old streaming cost instead
+//! of a wrong answer.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fo4depth_workload::{profiles, TraceArena, TraceGenerator};
+//!
+//! let p = profiles::by_name("181.mcf").unwrap();
+//! let arena = Arc::new(TraceArena::generate(p.clone(), 1, 500));
+//! let replayed: Vec<_> = arena.cursor().take(700).collect(); // past the end: still exact
+//! let streamed: Vec<_> = TraceGenerator::new(p, 1).take(700).collect();
+//! assert_eq!(replayed, streamed);
+//! ```
+
+use std::sync::Arc;
+
+use fo4depth_isa::{ArchReg, BranchInfo, Instruction, Opcode};
+
+use crate::generate::TraceGenerator;
+use crate::profile::BenchProfile;
+
+/// Flag bit: the instruction carries a data address in `aux`.
+const HAS_MEM: u8 = 1 << 0;
+/// Flag bit: the instruction carries oracle branch info (`aux` = target).
+const HAS_BRANCH: u8 = 1 << 1;
+/// Flag bit: the branch is taken (only meaningful with `HAS_BRANCH`).
+const TAKEN: u8 = 1 << 2;
+
+/// Packed operand byte for "no register".
+const NO_REG: u8 = u8::MAX;
+
+#[inline]
+fn pack_reg(r: Option<ArchReg>) -> u8 {
+    r.map_or(NO_REG, |r| r.flat_index() as u8)
+}
+
+#[inline]
+fn unpack_reg(b: u8) -> Option<ArchReg> {
+    if b == NO_REG {
+        None
+    } else {
+        Some(ArchReg::from_flat_index(b as usize))
+    }
+}
+
+/// A benchmark trace materialized once into structure-of-arrays columns.
+///
+/// Immutable after construction; share it across threads with [`Arc`] and
+/// hand each simulation its own [`TraceCursor`].
+#[derive(Debug, Clone)]
+pub struct TraceArena {
+    seed: u64,
+    /// Opcode per instruction.
+    ops: Vec<Opcode>,
+    /// `HAS_MEM` / `HAS_BRANCH` / `TAKEN` bits per instruction.
+    flags: Vec<u8>,
+    /// Packed destination / source registers (flat index, `NO_REG` = none).
+    dest: Vec<u8>,
+    src1: Vec<u8>,
+    src2: Vec<u8>,
+    /// Program counter per instruction.
+    pcs: Vec<u64>,
+    /// Data address (`HAS_MEM`) or branch target (`HAS_BRANCH`); an
+    /// instruction is never both.
+    aux: Vec<u64>,
+    /// Generator state after the last materialized instruction; cursors
+    /// that run past the end clone it and keep streaming.
+    tail: TraceGenerator,
+    /// Cache-warming addresses for this workload (see
+    /// [`TraceGenerator::prewarm_addresses`]), derived once from the same
+    /// profile the materialized stream came from so the two cannot drift.
+    prewarm: Vec<u64>,
+}
+
+impl TraceArena {
+    /// Runs a fresh [`TraceGenerator`] for `(profile, seed)` through its
+    /// first `len` instructions and materializes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BenchProfile::validate`].
+    #[must_use]
+    pub fn generate(profile: BenchProfile, seed: u64, len: usize) -> Self {
+        let mut gen = TraceGenerator::new(profile, seed);
+        let prewarm = gen.prewarm_addresses();
+        let mut arena = Self {
+            seed,
+            ops: Vec::with_capacity(len),
+            flags: Vec::with_capacity(len),
+            dest: Vec::with_capacity(len),
+            src1: Vec::with_capacity(len),
+            src2: Vec::with_capacity(len),
+            pcs: Vec::with_capacity(len),
+            aux: Vec::with_capacity(len),
+            tail: gen.clone(),
+            prewarm,
+        };
+        for _ in 0..len {
+            let inst = gen.next().expect("synthetic traces are infinite");
+            arena.push(&inst);
+        }
+        arena.tail = gen;
+        arena
+    }
+
+    fn push(&mut self, inst: &Instruction) {
+        let mut flags = 0u8;
+        let mut aux = 0u64;
+        if let Some(addr) = inst.mem_addr {
+            flags |= HAS_MEM;
+            aux = addr;
+        }
+        if let Some(branch) = inst.branch {
+            flags |= HAS_BRANCH;
+            if branch.taken {
+                flags |= TAKEN;
+            }
+            aux = branch.target;
+        }
+        self.ops.push(inst.opcode);
+        self.flags.push(flags);
+        self.dest.push(pack_reg(inst.dest));
+        self.src1.push(pack_reg(inst.src1));
+        self.src2.push(pack_reg(inst.src2));
+        self.pcs.push(inst.pc);
+        self.aux.push(aux);
+    }
+
+    /// Number of materialized instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was materialized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The profile the trace was generated from.
+    #[must_use]
+    pub fn profile(&self) -> &BenchProfile {
+        self.tail.profile()
+    }
+
+    /// The seed the trace was generated with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Approximate resident size of the materialized columns, in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<Opcode>() + 4 + 16)
+    }
+
+    /// Addresses a simulator should touch before timing starts — the same
+    /// list [`TraceGenerator::prewarm_addresses`] produces, computed once
+    /// at materialization time from the same generator.
+    #[must_use]
+    pub fn prewarm_addresses(&self) -> &[u64] {
+        &self.prewarm
+    }
+
+    /// Decodes instruction `i`, bit-identical to the `i`-th instruction
+    /// the streaming generator yields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> Instruction {
+        let flags = self.flags[i];
+        Instruction {
+            opcode: self.ops[i],
+            dest: unpack_reg(self.dest[i]),
+            src1: unpack_reg(self.src1[i]),
+            src2: unpack_reg(self.src2[i]),
+            mem_addr: (flags & HAS_MEM != 0).then(|| self.aux[i]),
+            branch: (flags & HAS_BRANCH != 0).then(|| BranchInfo {
+                taken: flags & TAKEN != 0,
+                target: self.aux[i],
+            }),
+            pc: self.pcs[i],
+        }
+    }
+
+    /// A replay cursor starting at instruction 0.
+    #[must_use]
+    pub fn cursor(self: &Arc<Self>) -> TraceCursor {
+        TraceCursor {
+            arena: Arc::clone(self),
+            idx: 0,
+            overflow: None,
+        }
+    }
+}
+
+/// A cheap replay iterator over a shared [`TraceArena`].
+///
+/// Within the materialized prefix, `next` is a handful of slice reads; past
+/// the end it transparently continues streaming from the arena's stored
+/// generator state, so the sequence is identical to a fresh
+/// [`TraceGenerator`] at every index.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    arena: Arc<TraceArena>,
+    idx: usize,
+    /// Streaming continuation, cloned from the arena tail on first use.
+    overflow: Option<TraceGenerator>,
+}
+
+impl TraceCursor {
+    /// Instructions yielded so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether the cursor has left the materialized prefix and is
+    /// streaming from the tail generator.
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.overflow.is_some()
+    }
+}
+
+impl Iterator for TraceCursor {
+    type Item = Instruction;
+
+    #[inline]
+    fn next(&mut self) -> Option<Instruction> {
+        if self.idx < self.arena.len() {
+            let inst = self.arena.get(self.idx);
+            self.idx += 1;
+            return Some(inst);
+        }
+        self.idx += 1;
+        self.overflow
+            .get_or_insert_with(|| self.arena.tail.clone())
+            .next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn replay_matches_streaming_within_prefix() {
+        for name in ["164.gzip", "171.swim", "179.art"] {
+            let p = profiles::by_name(name).unwrap();
+            let arena = Arc::new(TraceArena::generate(p.clone(), 9, 3_000));
+            let streamed: Vec<_> = TraceGenerator::new(p, 9).take(3_000).collect();
+            let replayed: Vec<_> = arena.cursor().take(3_000).collect();
+            assert_eq!(streamed, replayed, "{name} diverged");
+        }
+    }
+
+    #[test]
+    fn replay_matches_streaming_past_the_end() {
+        let p = profiles::by_name("181.mcf").unwrap();
+        let arena = Arc::new(TraceArena::generate(p.clone(), 3, 400));
+        let streamed: Vec<_> = TraceGenerator::new(p, 3).take(1_000).collect();
+        let mut cursor = arena.cursor();
+        let replayed: Vec<_> = cursor.by_ref().take(1_000).collect();
+        assert_eq!(streamed, replayed);
+        assert!(cursor.overflowed());
+    }
+
+    #[test]
+    fn two_cursors_are_independent() {
+        let p = profiles::by_name("164.gzip").unwrap();
+        let arena = Arc::new(TraceArena::generate(p, 1, 200));
+        let a: Vec<_> = arena.cursor().take(150).collect();
+        let mut c1 = arena.cursor();
+        let mut c2 = arena.cursor();
+        for want in &a {
+            assert_eq!(c1.next().as_ref(), Some(want));
+            assert_eq!(c2.next().as_ref(), Some(want));
+        }
+    }
+
+    #[test]
+    fn prewarm_matches_generator() {
+        let p = profiles::by_name("176.gcc").unwrap();
+        let arena = TraceArena::generate(p.clone(), 1, 10);
+        assert_eq!(
+            arena.prewarm_addresses(),
+            TraceGenerator::new(p, 1).prewarm_addresses().as_slice()
+        );
+    }
+
+    #[test]
+    fn get_decodes_every_field() {
+        let p = profiles::by_name("181.mcf").unwrap();
+        let arena = TraceArena::generate(p.clone(), 5, 2_000);
+        let mut gen = TraceGenerator::new(p, 5);
+        for i in 0..arena.len() {
+            assert_eq!(arena.get(i), gen.next().unwrap(), "instruction {i}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_preserved() {
+        let p = profiles::by_name("171.swim").unwrap();
+        let arena = TraceArena::generate(p.clone(), 7, 64);
+        assert_eq!(arena.len(), 64);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.seed(), 7);
+        assert_eq!(arena.profile().name, p.name);
+        assert!(arena.bytes() > 0);
+    }
+}

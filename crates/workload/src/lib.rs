@@ -22,6 +22,11 @@
 //! so an out-of-order core extracts exactly the parallelism the profile
 //! encodes.
 //!
+//! When the same trace is replayed many times (the depth sweeps run every
+//! benchmark at 15 clock points), a [`TraceArena`] materializes the
+//! generator's stream once into a compact pre-decoded buffer and hands out
+//! [`TraceCursor`]s that replay it bit-identically at slice-read cost.
+//!
 //! What this preserves from the paper (and what it cannot): aggregate IPC,
 //! branch misprediction rates, and cache behaviour are matched at the level
 //! that drives pipeline-depth conclusions; program semantics, phase
@@ -39,6 +44,7 @@
 //! println!("{first}");
 //! ```
 
+pub mod arena;
 pub mod generate;
 pub mod kernels;
 pub mod profile;
@@ -46,6 +52,7 @@ pub mod profiles;
 pub mod stats;
 pub mod traceio;
 
+pub use arena::{TraceArena, TraceCursor};
 pub use generate::TraceGenerator;
 pub use profile::{BenchClass, BenchProfile, BranchModel, MemoryModel, OpMix};
 pub use stats::TraceStats;

@@ -7,12 +7,14 @@
 //! cargo run --release --example sweep_pipeline_depth [benchmark]
 //! ```
 
+use std::sync::Arc;
+
 use fo4depth::study::cray::cray_memory_sweep_with;
 use fo4depth::study::latency::{table3, StructureSet};
 use fo4depth::study::render;
 use fo4depth::study::scaler::ScaledMachine;
 use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
-use fo4depth::workload::profiles;
+use fo4depth::workload::{profiles, TraceArena};
 use fo4depth_fo4::Fo4;
 
 fn main() {
@@ -39,10 +41,15 @@ fn main() {
         "  {:>8} {:>7} {:>5} {:>5} {:>5} {:>7} {:>7} {:>7} {:>7}",
         "t_useful", "GHz", "DL1", "wake", "FE", "inord", "o-o-o", "inBIPS", "oooBIPS"
     );
+    let arena = Arc::new(TraceArena::generate(
+        profile.clone(),
+        params.seed,
+        params.trace_len(),
+    ));
     for t in [2.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
         let m = ScaledMachine::at(&structures, Fo4::new(t), Fo4::new(1.8));
-        let ino = run_inorder(&m.config, &profile, &params);
-        let ooo = run_ooo(&m.config, &profile, &params);
+        let ino = run_inorder(&m.config, &arena, &params);
+        let ooo = run_ooo(&m.config, &arena, &params);
         println!(
             "  {:>8.1} {:>7.2} {:>5} {:>5} {:>5} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
             t,

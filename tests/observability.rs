@@ -2,6 +2,8 @@
 //! non-perturbation, determinism, loop-sensitivity directions, and report
 //! serialization.
 
+use std::sync::Arc;
+
 use fo4depth::pipeline::{Counters, StallCause};
 use fo4depth::study::loops::{stretched_config, CriticalLoop};
 use fo4depth::study::report;
@@ -9,7 +11,7 @@ use fo4depth::study::sim::{
     run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, SimParams,
 };
 use fo4depth::util::Json;
-use fo4depth::workload::profiles;
+use fo4depth::workload::{profiles, BenchProfile, TraceArena};
 use fo4depth_pipeline::CoreConfig;
 
 fn quick() -> SimParams {
@@ -18,6 +20,18 @@ fn quick() -> SimParams {
         measure: 8_000,
         seed: 1,
     }
+}
+
+fn arena_of(p: &BenchProfile, params: &SimParams) -> Arc<TraceArena> {
+    Arc::new(TraceArena::generate(
+        p.clone(),
+        params.seed,
+        params.trace_len(),
+    ))
+}
+
+fn arena(name: &str, params: &SimParams) -> Arc<TraceArena> {
+    arena_of(&profiles::by_name(name).expect("known benchmark"), params)
 }
 
 fn counters_of(o: &fo4depth::study::sim::BenchOutcome) -> &Counters {
@@ -31,9 +45,10 @@ fn cpi_identity_holds_for_every_benchmark_on_both_cores() {
     let cfg = CoreConfig::alpha_like();
     let params = quick();
     for p in profiles::all() {
+        let a = arena_of(&p, &params);
         for (label, outcome) in [
-            ("ooo", run_ooo_observed(&cfg, &p, &params)),
-            ("inorder", run_inorder_observed(&cfg, &p, &params)),
+            ("ooo", run_ooo_observed(&cfg, &a, &params)),
+            ("inorder", run_inorder_observed(&cfg, &a, &params)),
         ] {
             let c = counters_of(&outcome);
             assert!(
@@ -59,12 +74,12 @@ fn cpi_identity_holds_for_every_benchmark_on_both_cores() {
 fn counters_are_bit_identical_across_same_seed_runs() {
     let cfg = CoreConfig::alpha_like();
     let params = quick();
-    let p = profiles::by_name("300.twolf").unwrap();
-    let a = run_ooo_observed(&cfg, &p, &params);
-    let b = run_ooo_observed(&cfg, &p, &params);
+    let t = arena("300.twolf", &params);
+    let a = run_ooo_observed(&cfg, &t, &params);
+    let b = run_ooo_observed(&cfg, &t, &params);
     assert_eq!(a, b, "observed OoO runs must be deterministic");
-    let a = run_inorder_observed(&cfg, &p, &params);
-    let b = run_inorder_observed(&cfg, &p, &params);
+    let a = run_inorder_observed(&cfg, &t, &params);
+    let b = run_inorder_observed(&cfg, &t, &params);
     assert_eq!(a, b, "observed in-order runs must be deterministic");
 }
 
@@ -75,15 +90,15 @@ fn observation_does_not_perturb_the_simulation() {
     let cfg = CoreConfig::alpha_like();
     let params = quick();
     for name in ["164.gzip", "181.mcf", "171.swim", "179.art"] {
-        let p = profiles::by_name(name).unwrap();
-        let plain = run_ooo(&cfg, &p, &params);
-        let observed = run_ooo_observed(&cfg, &p, &params);
+        let a = arena(name, &params);
+        let plain = run_ooo(&cfg, &a, &params);
+        let observed = run_ooo_observed(&cfg, &a, &params);
         assert_eq!(
             plain.result, observed.result,
             "{name}: observation perturbed the OoO core"
         );
-        let plain = run_inorder(&cfg, &p, &params);
-        let observed = run_inorder_observed(&cfg, &p, &params);
+        let plain = run_inorder(&cfg, &a, &params);
+        let observed = run_inorder_observed(&cfg, &a, &params);
         assert_eq!(
             plain.result, observed.result,
             "{name}: observation perturbed the in-order core"
@@ -97,8 +112,8 @@ fn observation_does_not_perturb_the_simulation() {
 fn occupancy_histograms_sum_to_measured_cycles() {
     let cfg = CoreConfig::alpha_like();
     let params = quick();
-    let p = profiles::by_name("164.gzip").unwrap();
-    let c = run_ooo_observed(&cfg, &p, &params);
+    let a = arena("164.gzip", &params);
+    let c = run_ooo_observed(&cfg, &a, &params);
     let c = counters_of(&c);
     for (name, hist) in [
         ("window", &c.window_occupancy),
@@ -116,13 +131,13 @@ fn occupancy_histograms_sum_to_measured_cycles() {
 fn assert_loop_direction(which: CriticalLoop, attributed: &[StallCause]) {
     let base = CoreConfig::alpha_like();
     let params = quick();
-    let p = profiles::by_name("164.gzip").unwrap();
+    let a = arena("164.gzip", &params);
     let mut last_stalls = 0u64;
     let mut last_ipc = f64::INFINITY;
     let mut stalls_path = Vec::new();
     for extra in [0u64, 4, 10] {
         let cfg = stretched_config(&base, which, extra);
-        let o = run_ooo_observed(&cfg, &p, &params);
+        let o = run_ooo_observed(&cfg, &a, &params);
         let c = counters_of(&o);
         let stalls: u64 = attributed.iter().map(|&cause| c.stalls(cause)).sum();
         let ipc = o.result.ipc();
@@ -170,8 +185,8 @@ fn stretching_mispredict_penalty_grows_recovery_stalls() {
 fn outcome_json_round_trips() {
     let cfg = CoreConfig::alpha_like();
     let params = quick();
-    let p = profiles::by_name("181.mcf").unwrap();
-    let outcome = run_ooo_observed(&cfg, &p, &params);
+    let a = arena("181.mcf", &params);
+    let outcome = run_ooo_observed(&cfg, &a, &params);
     let doc = report::outcome_json(&outcome, 280.8);
     let parsed = Json::parse(&doc.render()).expect("rendered JSON parses");
     assert_eq!(parsed, doc, "render/parse must be lossless");
