@@ -40,6 +40,7 @@
 
 pub mod ablation;
 pub mod capacity;
+pub mod cells;
 pub mod cray;
 pub mod experiments;
 pub mod floorplan;

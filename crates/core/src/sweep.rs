@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use fo4depth_fo4::Fo4;
+use fo4depth_pipeline::CoreConfig;
 use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
@@ -241,14 +242,13 @@ pub fn depth_sweep_arenas(
         .flat_map(|pi| (0..spec.profiles.len()).map(move |bi| (pi, bi)))
         .collect();
     let outcomes = pool.map(&grid, |&(pi, bi)| {
-        let config = &machines[pi].config;
-        let trace = &arenas[bi];
-        match (spec.core, spec.observed) {
-            (CoreKind::InOrder, false) => run_inorder(config, trace, spec.params),
-            (CoreKind::InOrder, true) => run_inorder_observed(config, trace, spec.params),
-            (CoreKind::OutOfOrder, false) => run_ooo(config, trace, spec.params),
-            (CoreKind::OutOfOrder, true) => run_ooo_observed(config, trace, spec.params),
-        }
+        run_grid_cell(
+            spec.core,
+            spec.observed,
+            &machines[pi].config,
+            &arenas[bi],
+            spec.params,
+        )
     });
     let mut outcomes = outcomes.into_iter();
     let points = spec
@@ -265,6 +265,25 @@ pub fn depth_sweep_arenas(
         core: spec.core,
         overhead: spec.overhead.get(),
         points,
+    }
+}
+
+/// The one dispatch point every sweep cell goes through — shared by the
+/// grid fan-out above and the cache-granular
+/// [`CellSpec::run`](crate::cells::CellSpec::run), so a cell simulated for
+/// a cache is bit-identical to the same cell simulated inside a sweep.
+pub(crate) fn run_grid_cell(
+    core: CoreKind,
+    observed: bool,
+    config: &CoreConfig,
+    arena: &Arc<TraceArena>,
+    params: &SimParams,
+) -> BenchOutcome {
+    match (core, observed) {
+        (CoreKind::InOrder, false) => run_inorder(config, arena, params),
+        (CoreKind::InOrder, true) => run_inorder_observed(config, arena, params),
+        (CoreKind::OutOfOrder, false) => run_ooo(config, arena, params),
+        (CoreKind::OutOfOrder, true) => run_ooo_observed(config, arena, params),
     }
 }
 

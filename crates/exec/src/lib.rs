@@ -38,7 +38,7 @@
 //! ```
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -93,6 +93,12 @@ struct Inner {
     work_available: Condvar,
     /// Signalled when a task completes (submitters wait here to join).
     task_done: Condvar,
+    /// Tasks finished over the pool's lifetime (all batches).
+    tasks_executed: AtomicU64,
+    /// Batches published over the pool's lifetime.
+    batches_submitted: AtomicU64,
+    /// Lanes currently executing a task (workers + helping submitters).
+    busy: AtomicUsize,
 }
 
 impl Inner {
@@ -115,9 +121,18 @@ impl Inner {
     /// state lock so the increment cannot race a joiner past its final
     /// condition check (no lost wakeups).
     fn finish_task(&self, batch: &Batch) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         let _guard = self.state.lock().expect("pool lock");
         batch.completed.fetch_add(1, Ordering::Release);
         self.task_done.notify_all();
+    }
+
+    /// Runs one claimed task with the busy gauge held high around it.
+    fn execute(&self, batch: &Batch, i: usize) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+        batch.run_task(i);
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+        self.finish_task(batch);
     }
 }
 
@@ -129,8 +144,7 @@ fn worker_loop(inner: &Inner) {
         }
         if let Some((batch, i)) = Inner::steal(&mut state) {
             drop(state);
-            batch.run_task(i);
-            inner.finish_task(&batch);
+            inner.execute(&batch, i);
             state = inner.state.lock().expect("pool lock");
         } else {
             state = inner.work_available.wait(state).expect("pool lock");
@@ -175,6 +189,9 @@ impl Pool {
             }),
             work_available: Condvar::new(),
             task_done: Condvar::new(),
+            tasks_executed: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+            busy: AtomicUsize::new(0),
         });
         let workers = (1..threads)
             .map(|i| {
@@ -198,6 +215,18 @@ impl Pool {
         self.threads
     }
 
+    /// A snapshot of the pool's lifetime counters and current load, for
+    /// utilization reporting (e.g. a serving daemon's `/metrics`).
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            busy: self.inner.busy.load(Ordering::Relaxed),
+            tasks_executed: self.inner.tasks_executed.load(Ordering::Relaxed),
+            batches_submitted: self.inner.batches_submitted.load(Ordering::Relaxed),
+        }
+    }
+
     /// Applies `f` to every item, in parallel, returning results in input
     /// order. Pure `f` makes the output identical at every pool size.
     ///
@@ -216,7 +245,20 @@ impl Pool {
             return Vec::new();
         }
         if self.threads <= 1 || items.len() == 1 {
-            return items.iter().map(f).collect();
+            // The inline serial path still reports truthfully in
+            // `stats()`: one batch, every task counted, caller lane busy.
+            self.inner.batches_submitted.fetch_add(1, Ordering::Relaxed);
+            self.inner.busy.fetch_add(1, Ordering::Relaxed);
+            let out = items
+                .iter()
+                .map(|item| {
+                    let r = f(item);
+                    self.inner.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    r
+                })
+                .collect();
+            self.inner.busy.fetch_sub(1, Ordering::Relaxed);
+            return out;
         }
         let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
         let body = |i: usize| {
@@ -242,6 +284,7 @@ impl Pool {
         // and the two pointer types differ only in lifetime.
         let body: *const (dyn Fn(usize) + Sync + 'static) =
             unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(body) };
+        self.inner.batches_submitted.fetch_add(1, Ordering::Relaxed);
         let batch = Arc::new(Batch {
             body: BodyPtr(body),
             len,
@@ -261,8 +304,7 @@ impl Pool {
             if i >= len {
                 break;
             }
-            batch.run_task(i);
-            self.inner.finish_task(&batch);
+            self.inner.execute(&batch, i);
         }
 
         // Join: every index is claimed; wait for stolen ones to finish.
@@ -276,6 +318,20 @@ impl Pool {
             "a pool task panicked"
         );
     }
+}
+
+/// A point-in-time view of a [`Pool`]'s load and lifetime throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total lanes of parallelism (caller + workers).
+    pub threads: usize,
+    /// Lanes executing a task at the instant of the snapshot.
+    pub busy: usize,
+    /// Tasks finished since the pool was built.
+    pub tasks_executed: u64,
+    /// Batches (`map` calls reaching the parallel path, plus inline serial
+    /// runs) since the pool was built.
+    pub batches_submitted: u64,
 }
 
 impl Drop for Pool {
@@ -430,5 +486,20 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stats_count_every_task_on_every_path() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let items: Vec<u64> = (0..50).collect();
+            let _ = pool.map(&items, |&x| x);
+            let _ = pool.map(&items[..1], |&x| x);
+            let stats = pool.stats();
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.tasks_executed, 51, "threads {threads}");
+            assert_eq!(stats.batches_submitted, 2, "threads {threads}");
+            assert_eq!(stats.busy, 0, "idle after join");
+        }
     }
 }

@@ -1,0 +1,710 @@
+//! Request validation, canonicalization, and the cached simulation
+//! engine.
+//!
+//! Every request body is validated into a *canonical* form first — typed
+//! fields, defaults filled, unknown keys rejected — and the content
+//! fingerprint is taken over that canonical form, never the raw bytes. Two
+//! requests that mean the same computation therefore hash to the same
+//! cache key regardless of member order or formatting, while a request
+//! that means anything different cannot collide by construction
+//! (every field is length- or tag-delimited into the digest).
+//!
+//! The [`Engine`] serves three request shapes over three cache tiers:
+//!
+//! * **responses** — rendered JSON bodies keyed by request fingerprint
+//!   (repeat requests cost a hash lookup);
+//! * **cells** — one `(core × benchmark × clock point)` simulation
+//!   outcome per entry ([`CellSpec`] fingerprints), so partially
+//!   overlapping sweeps reuse each other's work;
+//! * **arenas** — materialized benchmark traces keyed by
+//!   `(benchmark, seed, length)`, shared across every cell that replays
+//!   the same stream.
+
+use std::sync::Arc;
+
+use fo4depth_fo4::Fo4;
+use fo4depth_study::cells::{assemble_sweep, sweep_cells, CellSpec};
+use fo4depth_study::latency::StructureSet;
+use fo4depth_study::report;
+use fo4depth_study::sim::{summarize, BenchOutcome, SimParams};
+use fo4depth_study::sweep::{standard_points, CoreKind};
+use fo4depth_util::hash::Fnv64;
+use fo4depth_util::Json;
+use fo4depth_workload::{profiles, BenchClass, BenchProfile, TraceArena};
+
+use crate::cache::Cache;
+
+/// Tag identifying the only structure set the daemon serves.
+const STRUCTURES_TAG: &str = "alpha_21264";
+
+/// A request that failed validation, with the HTTP status to signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status (422 for semantic errors, 400 for shape errors).
+    pub status: u16,
+    /// Machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail naming the offending field.
+    pub message: String,
+}
+
+impl ApiError {
+    fn invalid(message: impl Into<String>) -> Self {
+        Self {
+            status: 422,
+            code: "invalid_request",
+            message: message.into(),
+        }
+    }
+}
+
+/// Validation bounds — the admission-control half that can be decided
+/// from the request alone, before any work is queued.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Maximum clock points per sweep request.
+    pub max_points: usize,
+    /// Maximum benchmarks per sweep request.
+    pub max_benchmarks: usize,
+    /// Maximum `warmup + measure` instructions per cell.
+    pub max_instructions: u64,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        Self {
+            max_points: 64,
+            max_benchmarks: 32,
+            max_instructions: 1_000_000,
+        }
+    }
+}
+
+/// A validated, canonical sweep-shaped request (`/v1/report` and
+/// `/v1/sweep`).
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Core model.
+    pub core: CoreKind,
+    /// Benchmarks, in request (= response) order.
+    pub profiles: Vec<BenchProfile>,
+    /// Clock points, in request (= response) order.
+    pub points: Vec<Fo4>,
+    /// Simulation intervals and seed.
+    pub params: SimParams,
+    /// Per-stage overhead.
+    pub overhead: Fo4,
+}
+
+/// A validated `/v1/run` request: one benchmark at one clock point.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Core model.
+    pub core: CoreKind,
+    /// The benchmark.
+    pub profile: BenchProfile,
+    /// The clock point.
+    pub t_useful: Fo4,
+    /// Simulation intervals and seed.
+    pub params: SimParams,
+    /// Per-stage overhead.
+    pub overhead: Fo4,
+    /// Whether to collect and return stall-attribution counters.
+    pub observed: bool,
+}
+
+fn core_key(core: CoreKind) -> &'static str {
+    match core {
+        CoreKind::InOrder => "inorder",
+        CoreKind::OutOfOrder => "ooo",
+    }
+}
+
+/// Shared field readers over the request object.
+struct Fields<'a> {
+    pairs: &'a [(String, Json)],
+    allowed: &'static [&'static str],
+}
+
+impl<'a> Fields<'a> {
+    fn of(doc: &'a Json, allowed: &'static [&'static str]) -> Result<Self, ApiError> {
+        let Json::Obj(pairs) = doc else {
+            return Err(ApiError::invalid("request body must be a JSON object"));
+        };
+        for (key, _) in pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ApiError::invalid(format!(
+                    "unknown field {key:?}; allowed: {}",
+                    allowed.join(", ")
+                )));
+            }
+            if pairs.iter().filter(|(k, _)| k == key).count() > 1 {
+                return Err(ApiError::invalid(format!("duplicate field {key:?}")));
+            }
+        }
+        Ok(Self { pairs, allowed })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Json> {
+        debug_assert!(self.allowed.contains(&key));
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn core(&self) -> Result<CoreKind, ApiError> {
+        match self.get("core") {
+            None => Ok(CoreKind::OutOfOrder),
+            Some(v) => match v.as_str() {
+                Some("ooo") => Ok(CoreKind::OutOfOrder),
+                Some("inorder") => Ok(CoreKind::InOrder),
+                _ => Err(ApiError::invalid("core must be \"ooo\" or \"inorder\"")),
+            },
+        }
+    }
+
+    fn uint(&self, key: &str, default: u64) -> Result<u64, ApiError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| ApiError::invalid(format!("{key} must be a non-negative integer"))),
+        }
+    }
+
+    fn params(&self, limits: &RequestLimits) -> Result<SimParams, ApiError> {
+        let params = SimParams {
+            warmup: self.uint("warmup", 10_000)?,
+            measure: self.uint("measure", 40_000)?,
+            seed: self.uint("seed", 1)?,
+        };
+        if params.measure == 0 {
+            return Err(ApiError::invalid("measure must be at least 1"));
+        }
+        let total = params.warmup.saturating_add(params.measure);
+        if total > limits.max_instructions {
+            return Err(ApiError::invalid(format!(
+                "warmup + measure = {total} exceeds the {} instruction limit",
+                limits.max_instructions
+            )));
+        }
+        Ok(params)
+    }
+
+    fn overhead(&self) -> Result<Fo4, ApiError> {
+        match self.get("overhead") {
+            None => Ok(Fo4::new(1.8)),
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() && (0.0..=20.0).contains(&x) => Ok(Fo4::new(x)),
+                _ => Err(ApiError::invalid("overhead must be a number in [0, 20]")),
+            },
+        }
+    }
+
+    fn point(v: &Json) -> Result<Fo4, ApiError> {
+        match v.as_f64() {
+            Some(x) if x.is_finite() && x > 0.0 && x <= 100.0 => Ok(Fo4::new(x)),
+            _ => Err(ApiError::invalid(
+                "points must be numbers in (0, 100] FO4 of useful logic",
+            )),
+        }
+    }
+
+    fn points(&self, limits: &RequestLimits) -> Result<Vec<Fo4>, ApiError> {
+        let Some(v) = self.get("points") else {
+            return Ok(standard_points());
+        };
+        let items = v
+            .as_arr()
+            .ok_or_else(|| ApiError::invalid("points must be an array of numbers"))?;
+        if items.is_empty() {
+            return Err(ApiError::invalid("points must not be empty"));
+        }
+        if items.len() > limits.max_points {
+            return Err(ApiError::invalid(format!(
+                "{} points exceeds the limit of {}",
+                items.len(),
+                limits.max_points
+            )));
+        }
+        let points: Vec<Fo4> = items.iter().map(Self::point).collect::<Result<_, _>>()?;
+        for (i, p) in points.iter().enumerate() {
+            if points[..i].iter().any(|q| q.get() == p.get()) {
+                return Err(ApiError::invalid(format!(
+                    "duplicate clock point {}",
+                    p.get()
+                )));
+            }
+        }
+        Ok(points)
+    }
+
+    fn benchmark(v: &Json) -> Result<BenchProfile, ApiError> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| ApiError::invalid("benchmarks must be an array of names"))?;
+        profiles::by_name(name).ok_or_else(|| {
+            ApiError::invalid(format!(
+                "unknown benchmark {name:?}; known: {}",
+                profiles::all()
+                    .iter()
+                    .map(|p| p.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    fn benchmarks(&self, limits: &RequestLimits) -> Result<Vec<BenchProfile>, ApiError> {
+        let Some(v) = self.get("benchmarks") else {
+            return Ok(profiles::all());
+        };
+        let items = v
+            .as_arr()
+            .ok_or_else(|| ApiError::invalid("benchmarks must be an array of names"))?;
+        if items.is_empty() {
+            return Err(ApiError::invalid("benchmarks must not be empty"));
+        }
+        if items.len() > limits.max_benchmarks {
+            return Err(ApiError::invalid(format!(
+                "{} benchmarks exceeds the limit of {}",
+                items.len(),
+                limits.max_benchmarks
+            )));
+        }
+        let profs: Vec<BenchProfile> = items
+            .iter()
+            .map(Self::benchmark)
+            .collect::<Result<_, _>>()?;
+        for (i, p) in profs.iter().enumerate() {
+            if profs[..i].iter().any(|q| q.name == p.name) {
+                return Err(ApiError::invalid(format!(
+                    "duplicate benchmark {:?}",
+                    p.name
+                )));
+            }
+        }
+        Ok(profs)
+    }
+}
+
+impl SweepRequest {
+    /// Validates a parsed request body into canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] naming the offending field.
+    pub fn from_json(doc: &Json, limits: &RequestLimits) -> Result<Self, ApiError> {
+        let fields = Fields::of(
+            doc,
+            &[
+                "core",
+                "benchmarks",
+                "points",
+                "warmup",
+                "measure",
+                "seed",
+                "overhead",
+            ],
+        )?;
+        Ok(Self {
+            core: fields.core()?,
+            profiles: fields.benchmarks(limits)?,
+            points: fields.points(limits)?,
+            params: fields.params(limits)?,
+            overhead: fields.overhead()?,
+        })
+    }
+
+    /// The request's content address: a stable digest of its canonical
+    /// form plus the endpoint tag (a `/v1/sweep` and a `/v1/report` for
+    /// the same spec are different response documents).
+    #[must_use]
+    pub fn fingerprint(&self, endpoint: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(endpoint);
+        h.write_str(core_key(self.core));
+        h.write_u64(self.profiles.len() as u64);
+        for p in &self.profiles {
+            h.write_str(&p.name);
+        }
+        h.write_u64(self.points.len() as u64);
+        for p in &self.points {
+            h.write_f64(p.get());
+        }
+        h.write_u64(self.params.warmup);
+        h.write_u64(self.params.measure);
+        h.write_u64(self.params.seed);
+        h.write_f64(self.overhead.get());
+        h.write_str(STRUCTURES_TAG);
+        h.finish()
+    }
+
+    /// Decomposes the request into its cache-granular cells.
+    #[must_use]
+    pub fn cells(&self, observed: bool) -> Vec<CellSpec> {
+        sweep_cells(
+            self.core,
+            &self.profiles,
+            &self.params,
+            self.overhead,
+            &self.points,
+            observed,
+            STRUCTURES_TAG,
+        )
+    }
+}
+
+impl RunRequest {
+    /// Validates a parsed request body into canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] naming the offending field.
+    pub fn from_json(doc: &Json, limits: &RequestLimits) -> Result<Self, ApiError> {
+        let fields = Fields::of(
+            doc,
+            &[
+                "core",
+                "benchmark",
+                "t_useful",
+                "warmup",
+                "measure",
+                "seed",
+                "overhead",
+                "observed",
+            ],
+        )?;
+        let profile = match fields.get("benchmark") {
+            Some(v) => Fields::benchmark(v)?,
+            None => return Err(ApiError::invalid("benchmark is required")),
+        };
+        let t_useful = match fields.get("t_useful") {
+            Some(v) => Fields::point(v)?,
+            None => Fo4::new(6.0),
+        };
+        let observed = match fields.get("observed") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(ApiError::invalid("observed must be a boolean")),
+        };
+        Ok(Self {
+            core: fields.core()?,
+            profile,
+            t_useful,
+            params: fields.params(limits)?,
+            overhead: fields.overhead()?,
+            observed,
+        })
+    }
+
+    /// The single cell this request resolves to.
+    #[must_use]
+    pub fn cell(&self) -> CellSpec {
+        CellSpec {
+            core: self.core,
+            profile: self.profile.clone(),
+            t_useful: self.t_useful,
+            overhead: self.overhead,
+            params: self.params,
+            observed: self.observed,
+            structures_tag: STRUCTURES_TAG,
+        }
+    }
+}
+
+/// The cached simulation engine behind every endpoint.
+pub struct Engine {
+    structures: StructureSet,
+    /// Rendered response bodies by request fingerprint.
+    pub responses: Cache<Arc<String>>,
+    /// Per-`(core × benchmark × point)` outcomes by cell fingerprint.
+    pub cells: Cache<Arc<BenchOutcome>>,
+    /// Materialized traces by `(benchmark, seed, length)`.
+    pub arenas: Cache<Arc<TraceArena>>,
+}
+
+impl Engine {
+    /// An engine with the given cache capacities (entries per tier).
+    #[must_use]
+    pub fn new(response_entries: usize, cell_entries: usize, arena_entries: usize) -> Self {
+        Self {
+            structures: StructureSet::alpha_21264(),
+            responses: Cache::new(response_entries),
+            cells: Cache::new(cell_entries),
+            arenas: Cache::new(arena_entries),
+        }
+    }
+
+    /// The materialized trace for one `(profile, seed, length)`, cached.
+    fn arena(&self, profile: &BenchProfile, params: &SimParams) -> Arc<TraceArena> {
+        let len = params.trace_len();
+        let mut h = Fnv64::new();
+        h.write_str("arena");
+        h.write_str(&profile.name);
+        h.write_u64(params.seed);
+        h.write_u64(len as u64);
+        self.arenas.get_or_compute(h.finish(), || {
+            Arc::new(TraceArena::generate(profile.clone(), params.seed, len))
+        })
+    }
+
+    /// One cell's outcome, simulated at most once per cache lifetime.
+    fn outcome(&self, cell: &CellSpec) -> Arc<BenchOutcome> {
+        self.cells.get_or_compute(cell.fingerprint(), || {
+            let arena = self.arena(&cell.profile, &cell.params);
+            Arc::new(cell.run(&self.structures, &arena))
+        })
+    }
+
+    /// Runs (or recalls) every cell of a sweep on the shared exec pool and
+    /// reassembles the [`DepthSweep`](fo4depth_study::sweep::DepthSweep).
+    /// Identical at any pool size, and bit-identical to the offline
+    /// `depth_sweep_*` path — both run cells through
+    /// [`CellSpec::run`].
+    fn sweep(&self, req: &SweepRequest, observed: bool) -> fo4depth_study::sweep::DepthSweep {
+        let cells = req.cells(observed);
+        let outcomes = fo4depth_exec::global()
+            .map(&cells, |cell| self.outcome(cell))
+            .into_iter()
+            .map(|o| (*o).clone())
+            .collect();
+        assemble_sweep(
+            req.core,
+            &self.structures,
+            req.overhead,
+            &req.points,
+            req.profiles.len(),
+            outcomes,
+        )
+    }
+
+    /// `POST /v1/report` — the full observed run report, byte-identical
+    /// to `fo4depth report` with the same spec.
+    pub fn report(&self, req: &SweepRequest) -> Arc<String> {
+        self.responses
+            .get_or_compute(req.fingerprint("report"), || {
+                let sweep = self.sweep(req, true);
+                Arc::new(report::sweep_json(&sweep, &req.params).pretty())
+            })
+    }
+
+    /// `POST /v1/sweep` — the compact BIPS-curve summary (per-class
+    /// series and optima, no per-benchmark counter blocks).
+    pub fn sweep_summary(&self, req: &SweepRequest) -> Arc<String> {
+        self.responses.get_or_compute(req.fingerprint("sweep"), || {
+            let sweep = self.sweep(req, false);
+            let classes: [(&str, Option<BenchClass>); 4] = [
+                ("all", None),
+                ("integer", Some(BenchClass::Integer)),
+                ("vector_fp", Some(BenchClass::VectorFp)),
+                ("non_vector_fp", Some(BenchClass::NonVectorFp)),
+            ];
+            let points = sweep
+                .points
+                .iter()
+                .map(|p| {
+                    let mut summaries = Vec::new();
+                    for &(key, class) in &classes {
+                        if let Some(s) = summarize(&p.outcomes, class, p.period_ps) {
+                            summaries.push((
+                                key,
+                                Json::obj(vec![
+                                    ("bips", Json::Num(s.bips)),
+                                    ("ipc", Json::Num(s.ipc)),
+                                    ("count", Json::uint(s.count as u64)),
+                                ]),
+                            ));
+                        }
+                    }
+                    Json::obj(vec![
+                        ("t_useful", Json::Num(p.t_useful)),
+                        ("period_ps", Json::Num(p.period_ps)),
+                        ("classes", Json::obj(summaries)),
+                    ])
+                })
+                .collect();
+            let mut optima = Vec::new();
+            for &(key, class) in &classes {
+                if !sweep.series(class).is_empty() {
+                    let (t, bips) = sweep.optimum(class);
+                    optima.push((
+                        key,
+                        Json::obj(vec![("t_useful", Json::Num(t)), ("bips", Json::Num(bips))]),
+                    ));
+                }
+            }
+            let doc = Json::obj(vec![
+                ("schema_version", Json::uint(1)),
+                ("core", Json::str(core_key(req.core))),
+                ("overhead_fo4", Json::Num(req.overhead.get())),
+                (
+                    "params",
+                    Json::obj(vec![
+                        ("warmup", Json::uint(req.params.warmup)),
+                        ("measure", Json::uint(req.params.measure)),
+                        ("seed", Json::uint(req.params.seed)),
+                    ]),
+                ),
+                ("points", Json::Arr(points)),
+                ("optima", Json::obj(optima)),
+            ]);
+            Arc::new(doc.pretty())
+        })
+    }
+
+    /// `POST /v1/run` — one benchmark at one clock point.
+    pub fn run(&self, req: &RunRequest) -> Arc<String> {
+        let cell = req.cell();
+        let mut h = Fnv64::new();
+        h.write_str("run");
+        h.write_u64(cell.fingerprint());
+        self.responses.get_or_compute(h.finish(), || {
+            let outcome = self.outcome(&cell);
+            let machine = fo4depth_study::scaler::ScaledMachine::at(
+                &self.structures,
+                req.t_useful,
+                req.overhead,
+            );
+            let period_ps = machine.period_ps();
+            let doc = Json::obj(vec![
+                ("schema_version", Json::uint(1)),
+                ("core", Json::str(core_key(req.core))),
+                ("t_useful", Json::Num(req.t_useful.get())),
+                ("period_ps", Json::Num(period_ps)),
+                ("overhead_fo4", Json::Num(req.overhead.get())),
+                (
+                    "params",
+                    Json::obj(vec![
+                        ("warmup", Json::uint(req.params.warmup)),
+                        ("measure", Json::uint(req.params.measure)),
+                        ("seed", Json::uint(req.params.seed)),
+                    ]),
+                ),
+                ("benchmark", report::outcome_json(&outcome, period_ps)),
+            ]);
+            Arc::new(doc.pretty())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> RequestLimits {
+        RequestLimits::default()
+    }
+
+    fn sweep_req(body: &str) -> Result<SweepRequest, ApiError> {
+        SweepRequest::from_json(&Json::parse(body).expect("test body parses"), &limits())
+    }
+
+    #[test]
+    fn defaults_fill_canonically() {
+        let req = sweep_req("{}").expect("empty body is a full default sweep");
+        assert_eq!(req.core, CoreKind::OutOfOrder);
+        assert_eq!(req.profiles.len(), profiles::all().len());
+        assert_eq!(req.points.len(), standard_points().len());
+        assert_eq!(req.params.warmup, 10_000);
+        assert_eq!(req.params.measure, 40_000);
+        assert_eq!(req.params.seed, 1);
+        assert_eq!(req.overhead.get(), 1.8);
+    }
+
+    #[test]
+    fn canonical_requests_fingerprint_identically() {
+        // Member order and formatting do not change the computation,
+        // so they must not change the key.
+        let a = sweep_req(r#"{"core":"ooo","points":[6,8],"benchmarks":["164.gzip"]}"#).unwrap();
+        let b = sweep_req(r#"{ "benchmarks" : ["164.gzip"], "points":[6.0,8.0], "core":"ooo" }"#)
+            .unwrap();
+        assert_eq!(a.fingerprint("report"), b.fingerprint("report"));
+        // …but the endpoint, point order, and every field do.
+        assert_ne!(a.fingerprint("report"), a.fingerprint("sweep"));
+        let c = sweep_req(r#"{"points":[8,6],"benchmarks":["164.gzip"]}"#).unwrap();
+        assert_ne!(a.fingerprint("report"), c.fingerprint("report"));
+    }
+
+    #[test]
+    fn rejects_unknown_fields_bad_names_and_duplicates() {
+        assert!(sweep_req(r#"{"cores":"ooo"}"#).is_err(), "typo'd field");
+        assert!(sweep_req(r#"{"benchmarks":["999.nope"]}"#).is_err());
+        assert!(sweep_req(r#"{"benchmarks":["164.gzip","164.gzip"]}"#).is_err());
+        assert!(sweep_req(r#"{"points":[6,6]}"#).is_err());
+        assert!(sweep_req(r#"{"points":[]}"#).is_err());
+        assert!(sweep_req(r#"{"points":[0]}"#).is_err());
+        assert!(sweep_req(r#"{"points":[-3]}"#).is_err());
+        assert!(sweep_req(r#"{"measure":0}"#).is_err());
+        assert!(sweep_req(r#"{"core":"OOO"}"#).is_err(), "case-sensitive");
+        assert!(sweep_req("[]").is_err(), "non-object body");
+    }
+
+    #[test]
+    fn enforces_admission_limits() {
+        assert!(
+            sweep_req(r#"{"warmup":900000,"measure":200000}"#).is_err(),
+            "instruction cap"
+        );
+        let many: Vec<String> = (0..65).map(|i| format!("{}", i + 2)).collect();
+        let body = format!(r#"{{"points":[{}]}}"#, many.join(","));
+        assert!(sweep_req(&body).is_err(), "point-count cap");
+    }
+
+    #[test]
+    fn run_request_resolves_to_one_cell() {
+        let req = RunRequest::from_json(
+            &Json::parse(r#"{"benchmark":"164.gzip","t_useful":6,"observed":true}"#).unwrap(),
+            &limits(),
+        )
+        .expect("valid run request");
+        assert!(req.observed);
+        let cell = req.cell();
+        assert_eq!(cell.profile.name, "164.gzip");
+        assert_eq!(cell.t_useful.get(), 6.0);
+        assert!(
+            RunRequest::from_json(&Json::parse("{}").unwrap(), &limits()).is_err(),
+            "benchmark is required"
+        );
+    }
+
+    #[test]
+    fn engine_report_matches_offline_report_and_caches() {
+        let engine = Engine::new(16, 256, 8);
+        let req = sweep_req(
+            r#"{"core":"ooo","benchmarks":["164.gzip"],"points":[6],"warmup":1000,"measure":3000}"#,
+        )
+        .unwrap();
+        let served = engine.report(&req);
+        let offline = report::generate(req.core, &req.profiles, &req.params, &req.points).pretty();
+        assert_eq!(
+            *served.as_ref(),
+            offline,
+            "served == offline, byte for byte"
+        );
+
+        let again = engine.report(&req);
+        assert_eq!(served, again);
+        let s = engine.responses.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // The repeat cost zero simulations: cell misses happened once.
+        assert_eq!(engine.cells.stats().misses, 1);
+    }
+
+    #[test]
+    fn overlapping_sweeps_reuse_shared_cells() {
+        let engine = Engine::new(16, 256, 8);
+        let first =
+            sweep_req(r#"{"benchmarks":["164.gzip"],"points":[6],"warmup":1000,"measure":3000}"#)
+                .unwrap();
+        let wider =
+            sweep_req(r#"{"benchmarks":["164.gzip"],"points":[6,8],"warmup":1000,"measure":3000}"#)
+                .unwrap();
+        engine.report(&first);
+        assert_eq!(engine.cells.stats().misses, 1);
+        engine.report(&wider);
+        let s = engine.cells.stats();
+        assert_eq!(s.misses, 2, "only the new point simulated");
+        assert_eq!(s.hits, 1, "the shared (6 FO4 × gzip) cell was reused");
+        // One trace arena serves both sweeps.
+        assert_eq!(engine.arenas.stats().misses, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! The daemon speaks exactly the subset its JSON API needs: `GET`/`POST`
+//! with `Content-Length` bodies, one request per connection
+//! (`Connection: close` on every response). What it is careful about is
+//! the untrusted edge: the header block and body are size-capped, reads
+//! carry the caller's socket timeout, and every malformed input maps to a
+//! structured error response instead of a panic or a hung worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use fo4depth_util::Json;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client per RFC).
+    pub method: String,
+    /// Absolute path, query string included if any.
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A framing failure, carrying the status code the peer should see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`, honouring its configured read
+/// timeout and rejecting bodies over `max_body`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] describing the malformed or oversized input;
+/// I/O failures (including timeouts) surface as status-408 errors.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::new(400, "bad_request", "request head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "bad_request", "empty request"))?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, "bad_request", "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, "http_version", "HTTP/1.x only"));
+    }
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "bad_request", "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value.parse().map_err(|_| {
+                    HttpError::new(400, "bad_request", "unparseable content-length")
+                })?;
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::new(
+                    501,
+                    "not_implemented",
+                    "transfer-encoding is not supported; send content-length",
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let body = match (method, content_length) {
+        ("POST", None) => {
+            return Err(HttpError::new(
+                411,
+                "length_required",
+                "POST requires content-length",
+            ));
+        }
+        (_, None) | (_, Some(0)) => Vec::new(),
+        (_, Some(n)) if n > max_body => {
+            return Err(HttpError::new(
+                413,
+                "body_too_large",
+                format!("request body {n} bytes exceeds the {max_body} byte limit"),
+            ));
+        }
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            stream
+                .read_exact(&mut body)
+                .map_err(|e| HttpError::new(408, "read_timeout", format!("body read: {e}")))?;
+            body
+        }
+    };
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Reads up to the `\r\n\r\n` head terminator, capped at
+/// [`MAX_HEAD_BYTES`]. Any body bytes the peer pipelined behind the head
+/// are pushed back by returning them to the caller — we read one byte at
+/// a time, so nothing past the terminator is consumed. (A request head is
+/// a few hundred bytes; per-byte reads from the kernel buffer are not a
+/// bottleneck against multi-millisecond simulations.)
+fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    "bad_request",
+                    "connection closed mid-head",
+                ));
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return Ok(head);
+                }
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::new(
+                        431,
+                        "head_too_large",
+                        format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                    ));
+                }
+            }
+            Err(e) => {
+                return Err(HttpError::new(
+                    408,
+                    "read_timeout",
+                    format!("head read: {e}"),
+                ));
+            }
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response and flushes. Errors are swallowed: the peer
+/// may have gone away, and the worker's next action is closing the
+/// connection either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// Renders the daemon's uniform error body.
+#[must_use]
+pub fn error_body(code: &str, message: &str) -> String {
+    Json::obj(vec![(
+        "error",
+        Json::obj(vec![
+            ("code", Json::str(code)),
+            ("message", Json::str(message)),
+        ]),
+    )])
+    .render()
+}
+
+/// Writes an [`HttpError`] as a structured response.
+pub fn write_error(stream: &mut TcpStream, err: &HttpError) {
+    write_response(
+        stream,
+        err.status,
+        &[],
+        error_body(err.code, &err.message).as_bytes(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw client bytes over a real socket.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("send");
+            s
+        });
+        let (mut server_side, _) = listener.accept().expect("accept");
+        server_side
+            .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .expect("timeout");
+        let out = read_request(&mut server_side, max_body);
+        drop(client.join().expect("client"));
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /v1/report HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"",
+            1024,
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/report");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n", 1024).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let err = parse(b"POST /v1/run HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 16).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn rejects_post_without_length_and_chunked() {
+        let err = parse(b"POST /v1/run HTTP/1.1\r\n\r\n", 1024).unwrap_err();
+        assert_eq!(err.status, 411);
+        let err = parse(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_truncated_body() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        let err = parse(huge.as_bytes(), 1024).unwrap_err();
+        assert_eq!(err.status, 431);
+
+        // Declared 10 bytes, sent 2, then closed/stalled → timeout error.
+        let err = parse(
+            b"POST /v1/run HTTP/1.1\r\nContent-Length: 10\r\n\r\nab",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 408);
+    }
+
+    #[test]
+    fn error_body_is_valid_json() {
+        let body = error_body("queue_full", "try later");
+        let doc = Json::parse(&body).expect("valid");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("queue_full")
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! `fo4depth serve` — the study's simulation-as-a-service daemon.
+//!
+//! A small, dependency-free HTTP/1.1 JSON server over `std::net` that
+//! turns the offline sweep machinery into a long-lived service:
+//!
+//! * **Content-addressed caching** — requests are canonicalized and
+//!   fingerprinted ([`api`]); responses, per-cell outcomes, and trace
+//!   arenas are cached in bounded LRU tiers ([`cache`]), so a repeated
+//!   Figure-4 sweep is a hash lookup and partially overlapping sweeps
+//!   reuse each other's cells.
+//! * **Request coalescing** — concurrent identical requests (at response
+//!   or cell granularity) join one in-flight computation instead of
+//!   duplicating it.
+//! * **Backpressure** — a bounded connection queue sheds excess load with
+//!   `429` + `Retry-After` instead of stacking unbounded work; per-socket
+//!   timeouts and size caps ([`http`]) bound each accepted request.
+//! * **Observability** — `GET /metrics` reports queue depth, worker and
+//!   pool utilization, per-tier cache counters, and per-endpoint latency
+//!   histograms ([`metrics`]).
+//!
+//! Simulation responses are byte-identical to their offline CLI
+//! equivalents: both run through the same grid-cell code path
+//! (`fo4depth_study::cells`) and the same deterministic JSON renderer.
+//!
+//! Shutdown is graceful: `SIGTERM`/`SIGINT` (or a [`ShutdownHandle`])
+//! stop the accept loop, queued and in-flight requests drain, workers
+//! join, and [`Server::run`] returns.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fo4depth_util::{Json, JsonLimits};
+
+use api::{ApiError, Engine, RequestLimits, RunRequest, SweepRequest};
+use http::{error_body, read_request, write_error, write_response, HttpError, Request};
+use metrics::{cache_json, Endpoint, RequestMetrics};
+
+/// Everything configurable about one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7634`.
+    pub addr: String,
+    /// Connection worker threads (simulation itself additionally fans out
+    /// on the shared execution pool).
+    pub workers: usize,
+    /// Bounded pending-connection queue; beyond this, load is shed
+    /// with `429`.
+    pub queue_capacity: usize,
+    /// Response-cache capacity (rendered bodies).
+    pub response_entries: usize,
+    /// Cell-cache capacity (per-`(core × benchmark × point)` outcomes).
+    pub cell_entries: usize,
+    /// Arena-cache capacity (materialized traces).
+    pub arena_entries: usize,
+    /// Request body cap in bytes.
+    pub max_body: usize,
+    /// Per-socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Request validation bounds.
+    pub limits: RequestLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7634".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            response_entries: 256,
+            cell_entries: 4096,
+            arena_entries: 64,
+            max_body: 1 << 20,
+            io_timeout: Duration::from_secs(10),
+            limits: RequestLimits::default(),
+        }
+    }
+}
+
+/// Process-wide signal flag. Signal handlers may only touch
+/// async-signal-safe state; a relaxed atomic store is exactly that.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::{AtomicBool, Ordering, SIGNALED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes `SIGINT` and `SIGTERM` into the shutdown flag. Installed
+    /// once per process; re-installation is harmless.
+    pub fn install() {
+        static INSTALLED: AtomicBool = AtomicBool::new(false);
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: `signal(2)` with a plain function pointer whose body is
+        // a single atomic store — the canonical async-signal-safe handler.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// No signal routing off unix; ctrl-c terminates the process and a
+    /// [`ShutdownHandle`](super::ShutdownHandle) remains available.
+    pub fn install() {}
+}
+
+/// Shared server state: the engine, the bounded queue, and the counters.
+struct State {
+    config: ServeConfig,
+    engine: Engine,
+    metrics: RequestMetrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shed: AtomicU64,
+    busy_workers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALED.load(Ordering::Relaxed)
+    }
+}
+
+/// A clonable remote control that stops a running [`Server`] the same way
+/// `SIGTERM` does: stop accepting, drain, return.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<State>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue_cv.notify_all();
+    }
+}
+
+/// One bound daemon instance.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, …).
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let engine = Engine::new(
+            config.response_entries,
+            config.cell_entries,
+            config.arena_entries,
+        );
+        Ok(Self {
+            listener,
+            state: Arc::new(State {
+                config,
+                engine,
+                metrics: RequestMetrics::new(),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                shed: AtomicU64::new(0),
+                busy_workers: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query error.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until `SIGTERM`/`SIGINT` or a [`ShutdownHandle`] fires, then
+    /// drains queued and in-flight requests and joins the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-setup errors; per-connection failures are handled
+    /// as error responses, not propagated.
+    pub fn run(self) -> io::Result<()> {
+        sig::install();
+        // Nonblocking accept so the loop can poll the shutdown flag; a
+        // pure blocking accept would pin us until the next connection.
+        self.listener.set_nonblocking(true)?;
+
+        let workers: Vec<_> = (0..self.state.config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+
+        while !self.state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => enqueue(&self.state, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. aborted handshake).
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+
+        // Drain: no new connections are accepted; workers finish the
+        // queue (worker_loop only exits on shutdown AND empty queue).
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Admits a connection into the bounded queue or sheds it with `429`.
+fn enqueue(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    let mut queue = state.queue.lock().expect("queue lock");
+    if queue.len() >= state.config.queue_capacity {
+        drop(queue);
+        state.shed.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        write_response(
+            &mut stream,
+            429,
+            &[("retry-after", "1")],
+            error_body("queue_full", "server is at capacity; retry shortly").as_bytes(),
+        );
+        // Discard whatever request bytes already arrived: closing with
+        // unread data makes the kernel RST the connection, which can
+        // destroy the 429 before the peer reads it. Nonblocking, so a
+        // slow peer cannot stall the accept loop.
+        if stream.set_nonblocking(true).is_ok() {
+            let mut scratch = [0u8; 1024];
+            use std::io::Read as _;
+            while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+        }
+        state.metrics.record(Endpoint::Other, 429, 0);
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    state.queue_cv.notify_one();
+}
+
+/// Takes connections off the queue until shutdown, then drains what is
+/// left and exits.
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if state.shutting_down() {
+                    break None;
+                }
+                let (guard, _) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        let Some(mut stream) = stream else {
+            return;
+        };
+        state.busy_workers.fetch_add(1, Ordering::SeqCst);
+        handle_connection(state, &mut stream);
+        state.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reads, routes, answers, and records one request.
+fn handle_connection(state: &State, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let request = match read_request(stream, state.config.max_body) {
+        Ok(r) => r,
+        Err(e) => {
+            write_error(stream, &e);
+            record(state, Endpoint::Other, e.status, started);
+            return;
+        }
+    };
+    let (endpoint, outcome) = route(state, &request);
+    match outcome {
+        Ok(body) => {
+            write_response(stream, 200, &[], body.as_bytes());
+            record(state, endpoint, 200, started);
+        }
+        Err(e) => {
+            write_error(stream, &e);
+            record(state, endpoint, e.status, started);
+        }
+    }
+}
+
+fn record(state: &State, endpoint: Endpoint, status: u16, started: Instant) {
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.record(endpoint, status, elapsed_us);
+}
+
+/// Maps a request to its endpoint and response body.
+fn route(state: &State, request: &Request) -> (Endpoint, Result<Arc<String>, HttpError>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/report") => (
+            Endpoint::Report,
+            simulate(state, request, |engine, doc, limits| {
+                Ok(engine.report(&SweepRequest::from_json(doc, limits)?))
+            }),
+        ),
+        ("POST", "/v1/sweep") => (
+            Endpoint::Sweep,
+            simulate(state, request, |engine, doc, limits| {
+                Ok(engine.sweep_summary(&SweepRequest::from_json(doc, limits)?))
+            }),
+        ),
+        ("POST", "/v1/run") => (
+            Endpoint::Run,
+            simulate(state, request, |engine, doc, limits| {
+                Ok(engine.run(&RunRequest::from_json(doc, limits)?))
+            }),
+        ),
+        ("GET", "/metrics") => (Endpoint::Metrics, Ok(Arc::new(metrics_body(state)))),
+        ("GET", "/healthz") => (
+            Endpoint::Health,
+            Ok(Arc::new(
+                Json::obj(vec![("status", Json::str("ok"))]).render(),
+            )),
+        ),
+        ("GET" | "POST", "/v1/report" | "/v1/sweep" | "/v1/run" | "/metrics" | "/healthz") => (
+            Endpoint::Other,
+            Err(HttpError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} is not supported on {}", request.method, request.path),
+            }),
+        ),
+        _ => (
+            Endpoint::Other,
+            Err(HttpError {
+                status: 404,
+                code: "not_found",
+                message: format!("no route for {}", request.path),
+            }),
+        ),
+    }
+}
+
+/// Shared body-parse + validate + compute wrapper for the POST endpoints.
+fn simulate(
+    state: &State,
+    request: &Request,
+    f: impl FnOnce(&Engine, &Json, &RequestLimits) -> Result<Arc<String>, ApiError>,
+) -> Result<Arc<String>, HttpError> {
+    let json_limits = JsonLimits {
+        max_bytes: state.config.max_body,
+        ..JsonLimits::default()
+    };
+    let doc = Json::parse_bytes(&request.body, &json_limits).map_err(|e| HttpError {
+        status: 400,
+        code: "bad_json",
+        message: e.to_string(),
+    })?;
+    f(&state.engine, &doc, &state.config.limits).map_err(|e| HttpError {
+        status: e.status,
+        code: e.code,
+        message: e.message,
+    })
+}
+
+/// Renders the `/metrics` document.
+fn metrics_body(state: &State) -> String {
+    let queue_depth = state.queue.lock().expect("queue lock").len();
+    let pool = fo4depth_exec::global().stats();
+    Json::obj(vec![
+        ("schema_version", Json::uint(1)),
+        (
+            "queue",
+            Json::obj(vec![
+                ("depth", Json::uint(queue_depth as u64)),
+                ("capacity", Json::uint(state.config.queue_capacity as u64)),
+                ("shed", Json::uint(state.shed.load(Ordering::Relaxed))),
+            ]),
+        ),
+        (
+            "workers",
+            Json::obj(vec![
+                (
+                    "connection",
+                    Json::obj(vec![
+                        ("total", Json::uint(state.config.workers.max(1) as u64)),
+                        (
+                            "busy",
+                            Json::uint(state.busy_workers.load(Ordering::SeqCst) as u64),
+                        ),
+                    ]),
+                ),
+                (
+                    "pool",
+                    Json::obj(vec![
+                        ("threads", Json::uint(pool.threads as u64)),
+                        ("busy", Json::uint(pool.busy as u64)),
+                        ("tasks_executed", Json::uint(pool.tasks_executed)),
+                        ("batches_submitted", Json::uint(pool.batches_submitted)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "caches",
+            Json::obj(vec![
+                ("responses", cache_json(&state.engine.responses.stats())),
+                ("cells", cache_json(&state.engine.cells.stats())),
+                ("arenas", cache_json(&state.engine.arenas.stats())),
+            ]),
+        ),
+        ("endpoints", state.metrics.to_json()),
+    ])
+    .pretty()
+}

@@ -1,0 +1,152 @@
+//! A small shared command-line argument helper.
+//!
+//! Every `fo4depth` subcommand consumes a handful of `--flag value` pairs
+//! and positionals. The helpers here pull recognized options out of the
+//! raw argument vector and — the part ad-hoc parsing always skips — report
+//! whatever is *left over* as a proper error, so a typo like `--meausre`
+//! fails loudly with exit status 2 instead of silently running with
+//! defaults.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_util::args::Args;
+//!
+//! let mut args = Args::new(vec!["--jobs".into(), "4".into(), "input.txt".into()]);
+//! assert_eq!(args.take_opt::<usize>("--jobs").unwrap(), Some(4));
+//! assert_eq!(args.take_positional(), Some("input.txt".into()));
+//! assert!(args.finish().is_ok());
+//! ```
+
+/// An argument-parse failure, rendered to the user verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The remaining, not-yet-consumed arguments of one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    /// Wraps a raw argument vector (program name and subcommand already
+    /// stripped).
+    #[must_use]
+    pub fn new(rest: Vec<String>) -> Self {
+        Self { rest }
+    }
+
+    /// Removes `--flag value`, parsing the value.
+    ///
+    /// Returns `Ok(None)` when the flag is absent and an error when the
+    /// flag is present without a value or with an unparseable one.
+    ///
+    /// # Errors
+    ///
+    /// See above; the message names the flag and the offending value.
+    pub fn take_opt<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Option<T>, ArgError> {
+        let Some(i) = self.rest.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.rest.len() {
+            return Err(ArgError(format!("{flag} needs a value")));
+        }
+        let raw = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        raw.parse()
+            .map(Some)
+            .map_err(|_| ArgError(format!("bad value for {flag}: {raw}")))
+    }
+
+    /// Removes a boolean `--flag`, reporting whether it was present.
+    pub fn take_flag(&mut self, flag: &str) -> bool {
+        if let Some(i) = self.rest.iter().position(|a| a == flag) {
+            self.rest.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the first remaining positional argument (one
+    /// that does not start with `--`).
+    pub fn take_positional(&mut self) -> Option<String> {
+        let i = self.rest.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.rest.remove(i))
+    }
+
+    /// Succeeds only if every argument was consumed; otherwise names the
+    /// first unrecognized one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first leftover flag or positional.
+    pub fn finish(self) -> Result<(), ArgError> {
+        match self.rest.first() {
+            None => Ok(()),
+            Some(a) if a.starts_with("--") => Err(ArgError(format!("unknown option {a}"))),
+            Some(a) => Err(ArgError(format!("unexpected argument {a}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn takes_options_flags_and_positionals() {
+        let mut a = args(&["--csv", "--jobs", "8", "name", "--seed", "3"]);
+        assert_eq!(a.take_opt::<usize>("--jobs").unwrap(), Some(8));
+        assert_eq!(a.take_opt::<u64>("--seed").unwrap(), Some(3));
+        assert!(a.take_flag("--csv"));
+        assert!(!a.take_flag("--csv"));
+        assert_eq!(a.take_positional(), Some("name".into()));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_value_and_bad_value_are_errors() {
+        let mut a = args(&["--jobs"]);
+        assert_eq!(
+            a.take_opt::<usize>("--jobs").unwrap_err().0,
+            "--jobs needs a value"
+        );
+        let mut a = args(&["--jobs", "many"]);
+        assert_eq!(
+            a.take_opt::<usize>("--jobs").unwrap_err().0,
+            "bad value for --jobs: many"
+        );
+    }
+
+    #[test]
+    fn leftovers_fail_finish() {
+        let mut a = args(&["--meausre", "100"]);
+        assert_eq!(a.take_opt::<u64>("--measure").unwrap(), None);
+        // `100` trails the typo'd flag; the flag itself is reported.
+        assert_eq!(a.finish().unwrap_err().0, "unknown option --meausre");
+
+        let a = args(&["stray"]);
+        assert_eq!(a.finish().unwrap_err().0, "unexpected argument stray");
+    }
+
+    #[test]
+    fn absent_option_is_none() {
+        let mut a = args(&[]);
+        assert_eq!(a.take_opt::<usize>("--jobs").unwrap(), None);
+        assert_eq!(a.take_positional(), None);
+        assert!(a.finish().is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Stable content hashing for cache keys.
+//!
+//! The serving layer addresses results by the hash of their canonicalized
+//! request, so the hash must be *stable*: identical across runs, platforms,
+//! and releases (a persistent cache may outlive the process). The standard
+//! library's `DefaultHasher` is explicitly unstable, so this module carries
+//! a hand-rolled 64-bit FNV-1a — small, fast on short keys, and fully
+//! specified by two constants.
+//!
+//! FNV-1a is not collision-resistant against adversaries; cache keys here
+//! gate *recomputation*, not trust, so a deliberate collision costs the
+//! attacker a wrong answer to their own request at worst. Every value that
+//! enters the hash is length- or tag-delimited, so distinct field
+//! sequences cannot collide by concatenation.
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_util::hash::Fnv64;
+//!
+//! let mut h = Fnv64::new();
+//! h.write_str("164.gzip");
+//! h.write_u64(6);
+//! let a = h.finish();
+//! assert_eq!(a, {
+//!     let mut h = Fnv64::new();
+//!     h.write_str("164.gzip");
+//!     h.write_u64(6);
+//!     h.finish()
+//! });
+//! ```
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming 64-bit FNV-1a hasher with delimited writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(OFFSET)
+    }
+
+    /// Absorbs raw bytes (undelimited — prefer the typed writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as eight little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by its bit pattern, so `6.0` and `6.000…1` hash
+    /// apart and equal floats hash together (callers should canonicalize
+    /// `-0.0`/NaN before hashing if those can occur; cache keys here are
+    /// validated-finite clock points).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a length-delimited string: `write_str("ab"); write_str("c")`
+    /// and `write_str("a"); write_str("bc")` hash apart.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte string.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (Noll's tables).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn delimited_writes_do_not_collide_by_concatenation() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bits_distinguish_close_values() {
+        let mut a = Fnv64::new();
+        a.write_f64(6.0);
+        let mut b = Fnv64::new();
+        b.write_f64(f64::from_bits(6.0f64.to_bits() + 1));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hashing_is_stable_run_to_run() {
+        // The exact digest is part of the cache-key contract; pin it.
+        let mut h = Fnv64::new();
+        h.write_str("ooo");
+        h.write_u64(42);
+        h.write_f64(1.8);
+        assert_eq!(h.finish(), 0x2ee4_c53b_d692_247f);
+    }
+}

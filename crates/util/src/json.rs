@@ -194,20 +194,74 @@ impl Json {
         }
     }
 
-    /// Parses a JSON document.
+    /// Parses a JSON document with the default [`JsonLimits`].
     ///
     /// # Errors
     ///
     /// Returns a description and byte offset of the first syntax error.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse_with_limits(text, &JsonLimits::default())
+    }
+
+    /// Parses a JSON document under explicit [`JsonLimits`].
+    ///
+    /// This is the entry point for untrusted input (network request
+    /// bodies): oversized documents and pathologically deep nesting are
+    /// rejected with an error instead of exhausting memory or the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description and byte offset of the first syntax error or
+    /// exceeded limit.
+    pub fn parse_with_limits(text: &str, limits: &JsonLimits) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
+        if bytes.len() > limits.max_bytes {
+            return Err(JsonError::at(
+                &format!("input exceeds {} bytes", limits.max_bytes),
+                limits.max_bytes,
+            ));
+        }
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, limits.max_depth)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError::at("trailing input", pos));
         }
         Ok(value)
+    }
+
+    /// Parses a JSON document from raw bytes (the network-boundary form):
+    /// invalid UTF-8 is a parse error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description and byte offset of the first encoding or
+    /// syntax error or exceeded limit.
+    pub fn parse_bytes(bytes: &[u8], limits: &JsonLimits) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| JsonError::at("invalid utf-8", e.valid_up_to()))?;
+        Json::parse_with_limits(text, limits)
+    }
+}
+
+/// Resource bounds for parsing untrusted JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum container nesting depth (arrays + objects). The parser
+    /// recurses once per level, so this bounds stack growth.
+    pub max_depth: usize,
+    /// Maximum input size in bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for JsonLimits {
+    /// Generous bounds for trusted, tool-generated documents: depth 128,
+    /// 256 MiB. Network-facing callers should set far tighter ones.
+    fn default() -> Self {
+        Self {
+            max_depth: 128,
+            max_bytes: 256 << 20,
+        }
     }
 }
 
@@ -270,14 +324,17 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     let Some(&b) = bytes.get(*pos) else {
         return Err(JsonError::at("unexpected end of input", *pos));
     };
+    if depth == 0 && matches!(b, b'{' | b'[') {
+        return Err(JsonError::at("nesting too deep", *pos));
+    }
     match b {
-        b'{' => parse_obj(bytes, pos),
-        b'[' => parse_arr(bytes, pos),
+        b'{' => parse_obj(bytes, pos, depth - 1),
+        b'[' => parse_arr(bytes, pos, depth - 1),
         b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
         b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
         b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -389,7 +446,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -398,7 +455,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -411,7 +468,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -424,7 +481,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -485,6 +542,51 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"\\x\""] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_without_overflowing() {
+        // Far deeper than any stack could recurse through: must error.
+        let bomb = "[".repeat(200_000);
+        assert!(Json::parse(&bomb).is_err());
+        let bomb = "{\"a\":".repeat(200_000);
+        assert!(Json::parse(&bomb).is_err());
+
+        // Exactly at the limit parses; one past it does not.
+        let limits = JsonLimits {
+            max_depth: 4,
+            max_bytes: 1 << 20,
+        };
+        assert!(Json::parse_with_limits("[[[[1]]]]", &limits).is_ok());
+        assert!(Json::parse_with_limits("[[[[[1]]]]]", &limits).is_err());
+    }
+
+    #[test]
+    fn enforces_input_size_limit() {
+        let limits = JsonLimits {
+            max_depth: 8,
+            max_bytes: 8,
+        };
+        assert!(Json::parse_with_limits("[1,2]", &limits).is_ok());
+        let err = Json::parse_with_limits("[1,2,3,4,5]", &limits).unwrap_err();
+        assert!(err.message.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn truncated_escapes_and_bad_utf8_error_not_panic() {
+        for bad in [
+            "\"\\",        // escape at end of input
+            "\"\\u",       // \u with no digits
+            "\"\\u12",     // \u with too few digits
+            "\"\\uzzzz\"", // \u with non-hex digits
+            "\"\\ud800\"", // lone surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let limits = JsonLimits::default();
+        assert!(Json::parse_bytes(b"\"ok\"", &limits).is_ok());
+        let err = Json::parse_bytes(b"\"\xff\xfe\"", &limits).unwrap_err();
+        assert!(err.message.contains("utf-8"), "{err}");
     }
 
     #[test]

@@ -27,12 +27,16 @@
 //! let _ = coin;
 //! ```
 
+pub mod args;
 pub mod dist;
+pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod stats;
 
+pub use args::{ArgError, Args};
 pub use dist::{Discrete, Geometric, Zipf};
-pub use json::{Json, JsonError};
+pub use hash::{fnv1a, Fnv64};
+pub use json::{Json, JsonError, JsonLimits};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 pub use stats::{harmonic_mean, Histogram, RunningStats};

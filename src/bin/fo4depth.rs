@@ -10,13 +10,19 @@
 //! fo4depth floorplan                            # areas and wire distances
 //! fo4depth experiments                          # the paper's experiment registry
 //! fo4depth report --quick                       # machine-readable JSON run report
+//! fo4depth serve --addr 127.0.0.1:7634          # simulation-as-a-service daemon
 //! ```
+//!
+//! Argument parsing is strict: unknown subcommands, unknown flags, and
+//! malformed values exit with status 2 and a message naming the problem
+//! (see [`fo4depth::util::args`]).
 
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use fo4depth::fo4::Fo4;
+use fo4depth::serve::{ServeConfig, Server};
 use fo4depth::study::experiments::registry;
 use fo4depth::study::floorplan::Floorplan;
 use fo4depth::study::latency::{table3, StructureSet};
@@ -28,7 +34,8 @@ use fo4depth::study::sweep::{
     build_arenas, depth_sweep_arenas, depth_sweep_with, standard_points, CoreKind, SweepSpec,
 };
 use fo4depth::study::validation::{self, Bands};
-use fo4depth::workload::{profiles, TraceArena, TraceGenerator, TraceReader};
+use fo4depth::util::args::{ArgError, Args};
+use fo4depth::workload::{profiles, BenchProfile, TraceArena, TraceGenerator, TraceReader};
 use fo4depth_fo4::TechNode;
 use fo4depth_pipeline::OutOfOrderCore;
 
@@ -37,8 +44,8 @@ fn usage() -> ExitCode {
         "usage: fo4depth <command> [options]\n\
          commands:\n\
            table3                          print the structure/operation latency table\n\
-           sweep [--core ooo|inorder] [--overhead F] [--warmup N] [--measure N]\n\
-                 [--bench NAME[,NAME...]] [--csv] [--jobs N]\n\
+           sweep [--core ooo|inorder] [--overhead F] [--quick] [--warmup N]\n\
+                 [--measure N] [--bench NAME[,NAME...]] [--csv] [--jobs N]\n\
            bench NAME [--t-useful F] [--warmup N] [--measure N]\n\
            record NAME COUNT [FILE]        capture a synthetic trace (default stdout)\n\
            replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
@@ -51,101 +58,91 @@ fn usage() -> ExitCode {
            perf [--core ooo|inorder|both] [--quick] [--jobs N] [--out FILE]\n\
                   time the fixed sweep workload (trace generation and\n\
                   simulation split out); emit a JSON bench report\n\
+           serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+                 [--cell-cache N] [--max-body BYTES] [--timeout-ms N] [--jobs N]\n\
+                  run the HTTP simulation service (caching, coalescing,\n\
+                  backpressure; SIGTERM drains and exits)\n\
          `--jobs N` sizes the shared execution pool (1 = serial); the\n\
          FO4DEPTH_THREADS env var sets the default"
     );
     ExitCode::from(2)
 }
 
-/// Pulls `--flag value` out of `args`, returning the parsed value.
-fn take_opt<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
-    let i = args.iter().position(|a| a == flag)?;
-    if i + 1 >= args.len() {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    }
-    let raw = args.remove(i + 1);
-    args.remove(i);
-    match raw.parse() {
-        Ok(v) => Some(v),
-        Err(_) => {
-            eprintln!("bad value for {flag}: {raw}");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(i) = args.iter().position(|a| a == flag) {
-        args.remove(i);
-        true
-    } else {
-        false
-    }
-}
-
 /// Applies `--jobs N` to the shared execution pool. Must run before the
 /// first pool use; a pool that is already built at a different size cannot
 /// be resized, so that case warns instead of silently mis-running.
-fn take_jobs(args: &mut Vec<String>) {
-    if let Some(n) = take_opt::<usize>(args, "--jobs") {
+fn apply_jobs(args: &mut Args) -> Result<(), ArgError> {
+    if let Some(n) = args.take_opt::<usize>("--jobs")? {
         if n == 0 {
-            eprintln!("--jobs needs a positive value");
-            std::process::exit(2);
+            return Err(ArgError("--jobs needs a positive value".into()));
         }
         if !fo4depth::exec::set_global_threads(n) {
             eprintln!("warning: execution pool already running; --jobs {n} ignored");
         }
     }
+    Ok(())
 }
 
-fn params_from(args: &mut Vec<String>) -> SimParams {
+fn params_from(args: &mut Args) -> Result<SimParams, ArgError> {
     let mut p = SimParams {
         warmup: 10_000,
         measure: 40_000,
         seed: 1,
     };
-    if let Some(w) = take_opt(args, "--warmup") {
+    if let Some(w) = args.take_opt("--warmup")? {
         p.warmup = w;
     }
-    if let Some(m) = take_opt(args, "--measure") {
+    if let Some(m) = args.take_opt("--measure")? {
         p.measure = m;
     }
-    if let Some(s) = take_opt(args, "--seed") {
+    if let Some(s) = args.take_opt("--seed")? {
         p.seed = s;
     }
-    p
+    Ok(p)
 }
 
-fn cmd_sweep(mut args: Vec<String>) -> ExitCode {
-    take_jobs(&mut args);
-    let core = match take_opt::<String>(&mut args, "--core").as_deref() {
-        None | Some("ooo") => CoreKind::OutOfOrder,
-        Some("inorder") => CoreKind::InOrder,
-        Some(other) => {
-            eprintln!("unknown core {other}");
-            return ExitCode::from(2);
-        }
-    };
-    let overhead = take_opt(&mut args, "--overhead").unwrap_or(1.8);
-    let csv = take_flag(&mut args, "--csv");
-    let params = params_from(&mut args);
-    let profs = match take_opt::<String>(&mut args, "--bench") {
-        Some(names) => {
-            let mut out = Vec::new();
-            for n in names.split(',') {
-                match profiles::by_name(n) {
-                    Some(p) => out.push(p),
-                    None => {
-                        eprintln!("unknown benchmark {n}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            out
-        }
-        None => profiles::all(),
-    };
+/// Parses `--core` with the given `extra` spelling(s) allowed (perf takes
+/// `both`; everything else does not).
+fn core_from(args: &mut Args) -> Result<CoreKind, ArgError> {
+    match args.take_opt::<String>("--core")?.as_deref() {
+        None | Some("ooo") => Ok(CoreKind::OutOfOrder),
+        Some("inorder") => Ok(CoreKind::InOrder),
+        Some(other) => Err(ArgError(format!(
+            "unknown core {other}; expected ooo or inorder"
+        ))),
+    }
+}
+
+/// Parses `--bench NAME[,NAME...]`, defaulting to every benchmark.
+fn benches_from(args: &mut Args) -> Result<Vec<BenchProfile>, ArgError> {
+    match args.take_opt::<String>("--bench")? {
+        Some(names) => names
+            .split(',')
+            .map(|n| {
+                profiles::by_name(n).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown benchmark {n}; try `fo4depth validate` for the list"
+                    ))
+                })
+            })
+            .collect(),
+        None => Ok(profiles::all()),
+    }
+}
+
+fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let core = core_from(&mut args)?;
+    let overhead = args.take_opt("--overhead")?.unwrap_or(1.8);
+    let csv = args.take_flag("--csv");
+    let quick = args.take_flag("--quick");
+    let mut params = params_from(&mut args)?;
+    if quick {
+        params.warmup = params.warmup.min(2_000);
+        params.measure = params.measure.min(8_000);
+    }
+    let profs = benches_from(&mut args)?;
+    args.finish()?;
     let sweep = depth_sweep_with(
         core,
         &profs,
@@ -159,19 +156,20 @@ fn cmd_sweep(mut args: Vec<String>) -> ExitCode {
     } else {
         print!("{}", render::sweep_table(&sweep));
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_bench(mut args: Vec<String>) -> ExitCode {
-    let t = take_opt(&mut args, "--t-useful").unwrap_or(6.0);
-    let params = params_from(&mut args);
-    let Some(name) = args.first() else {
-        eprintln!("bench needs a benchmark name");
-        return ExitCode::from(2);
-    };
-    let Some(profile) = profiles::by_name(name) else {
-        eprintln!("unknown benchmark {name}; try `fo4depth validate` for the list");
-        return ExitCode::from(2);
+fn cmd_bench(mut args: Args) -> Result<ExitCode, ArgError> {
+    let t = args.take_opt("--t-useful")?.unwrap_or(6.0);
+    let params = params_from(&mut args)?;
+    let name = args
+        .take_positional()
+        .ok_or_else(|| ArgError("bench needs a benchmark name".into()))?;
+    args.finish()?;
+    let Some(profile) = profiles::by_name(&name) else {
+        return Err(ArgError(format!(
+            "unknown benchmark {name}; try `fo4depth validate` for the list"
+        )));
     };
     let machine = ScaledMachine::at(&StructureSet::alpha_21264(), Fo4::new(t), Fo4::new(1.8));
     let arena = Arc::new(TraceArena::generate(
@@ -197,30 +195,32 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
         ino.result.ipc(),
         ino.result.bips(machine.period_ps())
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_record(args: Vec<String>) -> ExitCode {
-    let (Some(name), Some(count)) = (args.first(), args.get(1)) else {
-        eprintln!("record needs NAME and COUNT");
-        return ExitCode::from(2);
-    };
-    let Some(profile) = profiles::by_name(name) else {
-        eprintln!("unknown benchmark {name}");
-        return ExitCode::from(2);
+fn cmd_record(mut args: Args) -> Result<ExitCode, ArgError> {
+    let name = args
+        .take_positional()
+        .ok_or_else(|| ArgError("record needs NAME and COUNT".into()))?;
+    let count = args
+        .take_positional()
+        .ok_or_else(|| ArgError("record needs NAME and COUNT".into()))?;
+    let path = args.take_positional();
+    args.finish()?;
+    let Some(profile) = profiles::by_name(&name) else {
+        return Err(ArgError(format!("unknown benchmark {name}")));
     };
     let Ok(count) = count.parse::<usize>() else {
-        eprintln!("bad count {count}");
-        return ExitCode::from(2);
+        return Err(ArgError(format!("bad count {count}")));
     };
     let stream = TraceGenerator::new(profile, 1);
-    let result = match args.get(2) {
+    let result = match path {
         Some(path) => {
-            let file = match std::fs::File::create(path) {
+            let file = match std::fs::File::create(&path) {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("cannot create {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return Ok(ExitCode::FAILURE);
                 }
             };
             fo4depth::workload::record(stream, count, std::io::BufWriter::new(file))
@@ -228,43 +228,43 @@ fn cmd_record(args: Vec<String>) -> ExitCode {
         None => fo4depth::workload::record(stream, count, std::io::stdout().lock()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => Ok(ExitCode::SUCCESS),
         Err(e) => {
             eprintln!("write failed: {e}");
-            ExitCode::FAILURE
+            Ok(ExitCode::FAILURE)
         }
     }
 }
 
-fn cmd_replay(mut args: Vec<String>) -> ExitCode {
-    let t = take_opt(&mut args, "--t-useful").unwrap_or(6.0);
-    let mut params = params_from(&mut args);
-    let Some(path) = args.first() else {
-        eprintln!("replay needs a trace FILE");
-        return ExitCode::from(2);
-    };
-    let file = match std::fs::File::open(path) {
+fn cmd_replay(mut args: Args) -> Result<ExitCode, ArgError> {
+    let t = args.take_opt("--t-useful")?.unwrap_or(6.0);
+    let mut params = params_from(&mut args)?;
+    let path = args
+        .take_positional()
+        .ok_or_else(|| ArgError("replay needs a trace FILE".into()))?;
+    args.finish()?;
+    let file = match std::fs::File::open(&path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cannot open {path}: {e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
     // A finite file cannot satisfy an open-ended run; bound the interval by
     // a cheap line count first.
-    let lines = match std::fs::read_to_string(path) {
+    let lines = match std::fs::read_to_string(&path) {
         Ok(s) => s
             .lines()
             .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
             .count() as u64,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
     if lines < 100 {
         eprintln!("trace too short ({lines} instructions)");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
     params.warmup = params.warmup.min(lines / 4);
     params.measure = params.measure.min(lines - params.warmup - lines / 10);
@@ -280,73 +280,46 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         r.ipc(),
         r.bips(machine.period_ps())
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_report(mut args: Vec<String>) -> ExitCode {
-    take_jobs(&mut args);
-    let core = match take_opt::<String>(&mut args, "--core").as_deref() {
-        None | Some("ooo") => CoreKind::OutOfOrder,
-        Some("inorder") => CoreKind::InOrder,
-        Some(other) => {
-            eprintln!("unknown core {other}");
-            return ExitCode::from(2);
-        }
-    };
-    let quick = take_flag(&mut args, "--quick");
-    let out_path = take_opt::<String>(&mut args, "--out");
-    let mut params = params_from(&mut args);
+fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let core = core_from(&mut args)?;
+    let quick = args.take_flag("--quick");
+    let out_path = args.take_opt::<String>("--out")?;
+    let mut params = params_from(&mut args)?;
     if quick {
         // Short intervals and three representative clock points: enough for
         // CI and smoke checks; the counters and identity are still exact.
         params.warmup = params.warmup.min(2_000);
         params.measure = params.measure.min(8_000);
     }
-    let points: Vec<Fo4> = match take_opt::<String>(&mut args, "--points") {
-        Some(list) => {
-            let mut out = Vec::new();
-            for raw in list.split(',') {
-                match raw.parse::<f64>() {
-                    Ok(v) if v > 0.0 => out.push(Fo4::new(v)),
-                    _ => {
-                        eprintln!("bad clock point {raw}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            out
-        }
+    let points: Vec<Fo4> = match args.take_opt::<String>("--points")? {
+        Some(list) => list
+            .split(',')
+            .map(|raw| match raw.parse::<f64>() {
+                Ok(v) if v > 0.0 => Ok(Fo4::new(v)),
+                _ => Err(ArgError(format!("bad clock point {raw}"))),
+            })
+            .collect::<Result<_, _>>()?,
         None if quick => [4.0, 6.0, 8.0].into_iter().map(Fo4::new).collect(),
         None => standard_points(),
     };
-    let profs = match take_opt::<String>(&mut args, "--bench") {
-        Some(names) => {
-            let mut out = Vec::new();
-            for n in names.split(',') {
-                match profiles::by_name(n) {
-                    Some(p) => out.push(p),
-                    None => {
-                        eprintln!("unknown benchmark {n}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            out
-        }
-        None => profiles::all(),
-    };
+    let profs = benches_from(&mut args)?;
+    args.finish()?;
     let doc = report::generate(core, &profs, &params, &points);
     let text = doc.pretty();
     match out_path {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, text + "\n") {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
         None => println!("{text}"),
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// The fixed benchmarking workload: the full depth sweep at the paper's
@@ -354,21 +327,23 @@ fn cmd_report(mut args: Vec<String>) -> ExitCode {
 /// can track simulation throughput run-over-run. Trace generation
 /// (materializing the benchmark arenas, paid once and shared by every core
 /// and clock point) is timed separately from simulation.
-fn cmd_perf(mut args: Vec<String>) -> ExitCode {
+fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     use fo4depth::util::json::Json;
 
-    take_jobs(&mut args);
-    let quick = take_flag(&mut args, "--quick");
-    let out_path = take_opt::<String>(&mut args, "--out");
-    let cores: Vec<CoreKind> = match take_opt::<String>(&mut args, "--core").as_deref() {
+    apply_jobs(&mut args)?;
+    let quick = args.take_flag("--quick");
+    let out_path = args.take_opt::<String>("--out")?;
+    let cores: Vec<CoreKind> = match args.take_opt::<String>("--core")?.as_deref() {
         None | Some("both") => vec![CoreKind::OutOfOrder, CoreKind::InOrder],
         Some("ooo") => vec![CoreKind::OutOfOrder],
         Some("inorder") => vec![CoreKind::InOrder],
         Some(other) => {
-            eprintln!("unknown core {other}");
-            return ExitCode::from(2);
+            return Err(ArgError(format!(
+                "unknown core {other}; expected ooo, inorder, or both"
+            )));
         }
     };
+    args.finish()?;
     let params = if quick {
         SimParams {
             warmup: 2_000,
@@ -488,7 +463,7 @@ fn cmd_perf(mut args: Vec<String>) -> ExitCode {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, &text) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
             eprintln!(
                 "wrote {path}: {wall:.3} s wall ({trace_gen:.3} s trace gen), \
@@ -497,56 +472,84 @@ fn cmd_perf(mut args: Vec<String>) -> ExitCode {
         }
         None => print!("{text}"),
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_floorplan() -> ExitCode {
-    let plan = Floorplan::of(
-        &fo4depth::study::capacity::CapacityChoice::base(),
-        TechNode::NM_100,
-    );
-    println!("Alpha-class floorplan at 100 nm (fo4depth-cacti area model):");
-    println!("  DL1        {:>7.2} mm2", plan.dcache_mm2);
-    println!("  I-cache    {:>7.2} mm2", plan.icache_mm2);
-    println!("  L2 (2 MB)  {:>7.2} mm2", plan.l2_mm2);
-    println!("  window     {:>7.2} mm2", plan.window_mm2);
-    println!("  regfiles   {:>7.2} mm2", plan.regfiles_mm2);
-    println!("  predictor  {:>7.2} mm2", plan.predictor_mm2);
-    println!(
-        "  core total {:>7.2} mm2  (span {:.2} mm)",
-        plan.core_mm2,
-        plan.core_span_mm()
-    );
-    println!(
-        "  die total  {:>7.2} mm2  (span {:.2} mm)",
-        plan.total_mm2,
-        plan.die_span_mm()
-    );
-    let model = fo4depth_fo4::WireModel::default();
-    println!(
-        "  front-end transport: {:.2} mm = {:.1} FO4 of repeated wire",
-        plan.front_end_distance_mm(),
-        plan.front_end_wire_fo4(&model).get()
-    );
-    ExitCode::SUCCESS
+/// Runs the simulation service until SIGTERM/SIGINT, then drains and
+/// exits 0. Prints the bound address on stdout once listening, so
+/// scripts (and the CI smoke job) know when to connect.
+fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = args.take_opt::<String>("--addr")? {
+        config.addr = addr;
+    }
+    if let Some(n) = args.take_opt::<usize>("--workers")? {
+        if n == 0 {
+            return Err(ArgError("--workers needs a positive value".into()));
+        }
+        config.workers = n;
+    }
+    if let Some(n) = args.take_opt("--queue")? {
+        config.queue_capacity = n;
+    }
+    if let Some(n) = args.take_opt("--cache")? {
+        config.response_entries = n;
+    }
+    if let Some(n) = args.take_opt("--cell-cache")? {
+        config.cell_entries = n;
+    }
+    if let Some(n) = args.take_opt("--max-body")? {
+        config.max_body = n;
+    }
+    if let Some(ms) = args.take_opt::<u64>("--timeout-ms")? {
+        config.io_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    args.finish()?;
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            use std::io::Write as _;
+            println!("listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot query bound address: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    match server.run() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
         return usage();
     }
-    let cmd = args.remove(0);
-    match cmd.as_str() {
-        "table3" => {
+    let cmd = raw.remove(0);
+    let args = Args::new(raw);
+    let result = match cmd.as_str() {
+        "table3" => args.finish().map(|()| {
             print!("{}", render::table3(&table3(&StructureSet::alpha_21264())));
             ExitCode::SUCCESS
-        }
+        }),
         "sweep" => cmd_sweep(args),
         "bench" => cmd_bench(args),
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
-        "validate" => {
+        "validate" => args.finish().map(|()| {
             let params = SimParams {
                 warmup: 30_000,
                 measure: 60_000,
@@ -555,11 +558,41 @@ fn main() -> ExitCode {
             let rows = validation::validate_all(&params, &Bands::default());
             print!("{}", validation::render(&rows));
             ExitCode::SUCCESS
-        }
-        "floorplan" => cmd_floorplan(),
+        }),
+        "floorplan" => args.finish().map(|()| {
+            let plan = Floorplan::of(
+                &fo4depth::study::capacity::CapacityChoice::base(),
+                TechNode::NM_100,
+            );
+            println!("Alpha-class floorplan at 100 nm (fo4depth-cacti area model):");
+            println!("  DL1        {:>7.2} mm2", plan.dcache_mm2);
+            println!("  I-cache    {:>7.2} mm2", plan.icache_mm2);
+            println!("  L2 (2 MB)  {:>7.2} mm2", plan.l2_mm2);
+            println!("  window     {:>7.2} mm2", plan.window_mm2);
+            println!("  regfiles   {:>7.2} mm2", plan.regfiles_mm2);
+            println!("  predictor  {:>7.2} mm2", plan.predictor_mm2);
+            println!(
+                "  core total {:>7.2} mm2  (span {:.2} mm)",
+                plan.core_mm2,
+                plan.core_span_mm()
+            );
+            println!(
+                "  die total  {:>7.2} mm2  (span {:.2} mm)",
+                plan.total_mm2,
+                plan.die_span_mm()
+            );
+            let model = fo4depth_fo4::WireModel::default();
+            println!(
+                "  front-end transport: {:.2} mm = {:.1} FO4 of repeated wire",
+                plan.front_end_distance_mm(),
+                plan.front_end_wire_fo4(&model).get()
+            );
+            ExitCode::SUCCESS
+        }),
         "report" => cmd_report(args),
         "perf" => cmd_perf(args),
-        "experiments" => {
+        "serve" => cmd_serve(args),
+        "experiments" => args.finish().map(|()| {
             for e in registry() {
                 println!(
                     "{:16} {}\n{:16} paper: {}\n{:16} run:   {}\n",
@@ -567,7 +600,18 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }),
+        other => {
+            eprintln!("fo4depth: unknown command {other}");
+            return usage();
         }
-        _ => usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fo4depth {cmd}: {e}");
+            eprintln!("run `fo4depth` with no arguments for usage");
+            ExitCode::from(2)
+        }
     }
 }

@@ -41,6 +41,7 @@ pub use fo4depth_exec as exec;
 pub use fo4depth_fo4 as fo4;
 pub use fo4depth_isa as isa;
 pub use fo4depth_pipeline as pipeline;
+pub use fo4depth_serve as serve;
 pub use fo4depth_study as study;
 pub use fo4depth_uarch as uarch;
 pub use fo4depth_util as util;

@@ -30,6 +30,46 @@ fn unknown_command_fails_with_usage() {
 }
 
 #[test]
+fn unknown_flags_fail_with_exit_2() {
+    // Every subcommand rejects leftovers instead of silently ignoring
+    // them — a typo'd flag must never run with defaults.
+    for args in [
+        &["report", "--bogus"][..],
+        &["sweep", "--meausre", "10"],
+        &["perf", "--quik"],
+        &["serve", "--port", "1"],
+        &["bench", "164.gzip", "--warmpu", "10"],
+        &["table3", "--verbose"],
+        &["experiments", "stray"],
+    ] {
+        let out = fo4depth().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown option") || err.contains("unexpected argument"),
+            "args {args:?} gave: {err}"
+        );
+    }
+}
+
+#[test]
+fn missing_and_malformed_option_values_fail_with_exit_2() {
+    let out = fo4depth()
+        .args(["report", "--points"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--points needs a value"));
+
+    let out = fo4depth()
+        .args(["sweep", "--warmup", "lots"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad value for --warmup: lots"));
+}
+
+#[test]
 fn table3_prints_all_rows() {
     let (out, _, ok) = run(&["table3"]);
     assert!(ok);

@@ -1,0 +1,425 @@
+//! End-to-end tests of the simulation service: a real server on a real
+//! socket, driven by a hand-rolled HTTP/1.1 client.
+//!
+//! The claims under test are the serving subsystem's contract:
+//! byte-identity with the offline CLI path, cache hits on repeats,
+//! cell reuse across overlapping sweeps, coalescing of concurrent
+//! identical requests, load shedding at the bounded queue, and graceful
+//! drain on shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use fo4depth::fo4::Fo4;
+use fo4depth::serve::{ServeConfig, Server, ShutdownHandle};
+use fo4depth::study::report;
+use fo4depth::study::sim::SimParams;
+use fo4depth::study::sweep::CoreKind;
+use fo4depth::util::Json;
+use fo4depth::workload::profiles;
+
+/// A live server on an ephemeral port, shut down (gracefully) on drop.
+struct TestServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+fn start(mut config: ServeConfig) -> TestServer {
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("server runs"));
+    TestServer {
+        addr,
+        handle,
+        thread: Some(thread),
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread joins");
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body is valid JSON")
+    }
+}
+
+/// Sends raw request bytes and reads the (connection-close delimited)
+/// response.
+fn send(addr: SocketAddr, raw: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("client timeout");
+    stream.write_all(raw).expect("send request");
+    let mut buf = Vec::new();
+    // A shed connection may be reset once the response is written; what
+    // was read before the reset is still the complete response.
+    if let Err(e) = stream.read_to_end(&mut buf) {
+        assert!(
+            buf.windows(4).any(|w| w == b"\r\n\r\n"),
+            "connection failed before a complete response arrived: {e}"
+        );
+    }
+    let text = String::from_utf8(buf).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    send(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    send(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes(),
+    )
+}
+
+fn metrics(addr: SocketAddr) -> Json {
+    let r = get(addr, "/metrics");
+    assert_eq!(r.status, 200);
+    r.json()
+}
+
+fn counter(doc: &Json, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    node.as_u64().expect("integer counter")
+}
+
+#[test]
+fn report_is_byte_identical_to_offline_and_repeats_hit_the_cache() {
+    let server = start(ServeConfig::default());
+    let body =
+        r#"{"benchmarks":["164.gzip","181.mcf"],"points":[4,6,8],"warmup":2000,"measure":8000}"#;
+
+    let miss_start = Instant::now();
+    let first = post(server.addr, "/v1/report", body);
+    let miss_elapsed = miss_start.elapsed();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+
+    let hit_start = Instant::now();
+    let second = post(server.addr, "/v1/report", body);
+    let hit_elapsed = hit_start.elapsed();
+    assert_eq!(second.status, 200);
+    assert_eq!(first.body, second.body, "repeat must be byte-identical");
+
+    // Identical, byte for byte, to what the offline CLI path renders for
+    // the same spec (both run through the same grid-cell code).
+    let profs = vec![
+        profiles::by_name("164.gzip").expect("gzip"),
+        profiles::by_name("181.mcf").expect("mcf"),
+    ];
+    let params = SimParams {
+        warmup: 2_000,
+        measure: 8_000,
+        seed: 1,
+    };
+    let points: Vec<Fo4> = [4.0, 6.0, 8.0].into_iter().map(Fo4::new).collect();
+    let offline = report::generate(CoreKind::OutOfOrder, &profs, &params, &points).pretty();
+    assert_eq!(first.body, offline, "served report != offline report");
+
+    // The repeat was answered from the response cache…
+    let m = metrics(server.addr);
+    assert_eq!(counter(&m, &["caches", "responses", "misses"]), 1);
+    assert_eq!(counter(&m, &["caches", "responses", "hits"]), 1);
+    // …running exactly the 6 grid cells once…
+    assert_eq!(counter(&m, &["caches", "cells", "misses"]), 6);
+    // …and at well over the 10x cache-hit speedup the service promises
+    // (in practice: hundreds of ms of simulation vs a hash lookup).
+    assert!(
+        hit_elapsed * 10 <= miss_elapsed,
+        "cache hit not fast enough: miss {miss_elapsed:?}, hit {hit_elapsed:?}"
+    );
+}
+
+#[test]
+fn overlapping_sweeps_reuse_shared_cells() {
+    let server = start(ServeConfig::default());
+    let narrow = r#"{"benchmarks":["164.gzip"],"points":[6],"warmup":1000,"measure":3000}"#;
+    let wide = r#"{"benchmarks":["164.gzip"],"points":[6,8],"warmup":1000,"measure":3000}"#;
+
+    assert_eq!(post(server.addr, "/v1/report", narrow).status, 200);
+    let m = metrics(server.addr);
+    assert_eq!(counter(&m, &["caches", "cells", "misses"]), 1);
+
+    assert_eq!(post(server.addr, "/v1/report", wide).status, 200);
+    let m = metrics(server.addr);
+    assert_eq!(
+        counter(&m, &["caches", "cells", "misses"]),
+        2,
+        "only the new 8-FO4 cell simulates"
+    );
+    assert_eq!(
+        counter(&m, &["caches", "cells", "hits"]),
+        1,
+        "the shared 6-FO4 cell is reused"
+    );
+    assert_eq!(
+        counter(&m, &["caches", "arenas", "misses"]),
+        1,
+        "one trace arena serves both sweeps"
+    );
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_simulation() {
+    let server = start(ServeConfig::default());
+    let body = r#"{"benchmarks":["164.gzip"],"points":[6],"warmup":1000,"measure":4000}"#;
+    let addr = server.addr;
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = post(addr, "/v1/report", body);
+                assert_eq!(r.status, 200);
+                r.body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client"))
+        .collect();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "all coalesced responses identical"
+    );
+
+    let m = metrics(server.addr);
+    assert_eq!(
+        counter(&m, &["caches", "responses", "misses"]),
+        1,
+        "one computation for 4 identical concurrent requests"
+    );
+    assert_eq!(
+        counter(&m, &["caches", "responses", "hits"])
+            + counter(&m, &["caches", "responses", "coalesced"]),
+        3
+    );
+    assert_eq!(
+        counter(&m, &["caches", "cells", "misses"]),
+        1,
+        "the single grid cell simulated exactly once"
+    );
+}
+
+#[test]
+fn response_cache_evicts_lru_under_pressure() {
+    let server = start(ServeConfig {
+        response_entries: 1,
+        ..ServeConfig::default()
+    });
+    let a = r#"{"benchmarks":["164.gzip"],"points":[6],"warmup":500,"measure":2000}"#;
+    let b = r#"{"benchmarks":["164.gzip"],"points":[8],"warmup":500,"measure":2000}"#;
+
+    assert_eq!(post(server.addr, "/v1/report", a).status, 200);
+    assert_eq!(post(server.addr, "/v1/report", b).status, 200);
+    assert_eq!(post(server.addr, "/v1/report", a).status, 200);
+
+    let m = metrics(server.addr);
+    assert_eq!(
+        counter(&m, &["caches", "responses", "misses"]),
+        3,
+        "capacity 1: A, B, then A again all miss the response tier"
+    );
+    assert_eq!(counter(&m, &["caches", "responses", "evictions"]), 2);
+    assert_eq!(counter(&m, &["caches", "responses", "entries"]), 1);
+    // The cell tier (default capacity) still remembers both points.
+    assert_eq!(counter(&m, &["caches", "cells", "misses"]), 2);
+    assert_eq!(counter(&m, &["caches", "cells", "hits"]), 1);
+}
+
+#[test]
+fn bounded_queue_sheds_load_with_429_and_retry_after() {
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the only worker: an accepted connection that never sends its
+    // request pins the worker in the read until we close it.
+    let hold_worker = TcpStream::connect(server.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(300));
+    // Fill the queue's single slot the same way.
+    let hold_queue = TcpStream::connect(server.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection must be shed at admission.
+    let shed = get(server.addr, "/healthz");
+    assert_eq!(shed.status, 429);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    let err = shed.json();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("queue_full")
+    );
+
+    // Release the held connections so drop's graceful shutdown is quick.
+    drop(hold_worker);
+    drop(hold_queue);
+    let m = metrics(server.addr);
+    assert!(counter(&m, &["queue", "shed"]) >= 1);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr;
+    let client = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/report",
+            r#"{"benchmarks":["164.gzip"],"points":[6],"warmup":2000,"measure":8000}"#,
+        )
+    });
+    // Let the request reach the server, then pull the plug mid-flight.
+    std::thread::sleep(Duration::from_millis(30));
+    server.handle.shutdown();
+
+    let response = client.join().expect("client");
+    assert_eq!(
+        response.status, 200,
+        "in-flight request completes across shutdown"
+    );
+    let doc = response.json();
+    assert!(doc.get("optima").is_some(), "complete body, not truncated");
+}
+
+#[test]
+fn run_and_sweep_endpoints_answer() {
+    let server = start(ServeConfig::default());
+
+    let run = post(
+        server.addr,
+        "/v1/run",
+        r#"{"benchmark":"164.gzip","t_useful":6,"warmup":500,"measure":2000,"observed":true}"#,
+    );
+    assert_eq!(run.status, 200, "body: {}", run.body);
+    let doc = run.json();
+    assert_eq!(
+        doc.get("benchmark")
+            .and_then(|b| b.get("name"))
+            .and_then(Json::as_str),
+        Some("164.gzip")
+    );
+    assert!(
+        doc.get("benchmark")
+            .and_then(|b| b.get("counters"))
+            .is_some(),
+        "observed run carries stall counters"
+    );
+
+    let sweep = post(
+        server.addr,
+        "/v1/sweep",
+        r#"{"benchmarks":["164.gzip"],"points":[6,8],"warmup":500,"measure":2000}"#,
+    );
+    assert_eq!(sweep.status, 200, "body: {}", sweep.body);
+    let doc = sweep.json();
+    assert_eq!(
+        doc.get("points").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(2)
+    );
+    assert!(doc.get("optima").and_then(|o| o.get("all")).is_some());
+}
+
+#[test]
+fn malformed_requests_get_structured_errors() {
+    let server = start(ServeConfig {
+        max_body: 4 * 1024,
+        ..ServeConfig::default()
+    });
+
+    let code_of = |r: &Response| {
+        r.json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("structured error body, got: {}", r.body))
+    };
+
+    let r = get(server.addr, "/nope");
+    assert_eq!((r.status, code_of(&r).as_str()), (404, "not_found"));
+
+    let r = get(server.addr, "/v1/report");
+    assert_eq!(
+        (r.status, code_of(&r).as_str()),
+        (405, "method_not_allowed")
+    );
+
+    let r = post(server.addr, "/v1/report", "{not json");
+    assert_eq!((r.status, code_of(&r).as_str()), (400, "bad_json"));
+
+    let r = post(server.addr, "/v1/report", r#"{"benchmarks":["999.nope"]}"#);
+    assert_eq!((r.status, code_of(&r).as_str()), (422, "invalid_request"));
+
+    let r = post(server.addr, "/v1/report", r#"{"bogus_field":1}"#);
+    assert_eq!((r.status, code_of(&r).as_str()), (422, "invalid_request"));
+
+    let oversized = format!(
+        "POST /v1/report HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        5 * 1024
+    );
+    let r = send(server.addr, oversized.as_bytes());
+    assert_eq!((r.status, code_of(&r).as_str()), (413, "body_too_large"));
+
+    // Errors are visible in /metrics per-endpoint counters.
+    let m = metrics(server.addr);
+    assert!(counter(&m, &["endpoints", "report", "errors"]) >= 3);
+    assert!(counter(&m, &["endpoints", "other", "requests"]) >= 2);
+}
