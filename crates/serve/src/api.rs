@@ -33,6 +33,7 @@ use fo4depth_util::Json;
 use fo4depth_workload::{profiles, BenchClass, BenchProfile, TraceArena};
 
 use crate::cache::Cache;
+use crate::store::CellStore;
 
 /// Tag identifying the only structure set the daemon serves.
 const STRUCTURES_TAG: &str = "alpha_21264";
@@ -420,18 +421,42 @@ pub struct Engine {
     pub cells: Cache<Arc<BenchOutcome>>,
     /// Materialized traces by `(benchmark, seed, length)`.
     pub arenas: Cache<Arc<TraceArena>>,
+    /// Persistent tier under the cell LRU (read-through/write-behind);
+    /// absent when the daemon runs without `--cache-dir`.
+    store: Option<Arc<CellStore>>,
 }
 
 impl Engine {
-    /// An engine with the given cache capacities (entries per tier).
+    /// An engine with the given cache capacities (entries per tier) and
+    /// no persistent tier.
     #[must_use]
     pub fn new(response_entries: usize, cell_entries: usize, arena_entries: usize) -> Self {
+        Self::with_store(response_entries, cell_entries, arena_entries, None)
+    }
+
+    /// An engine whose cell tier reads through to (and writes behind
+    /// into) `store`. Safe because cell fingerprints are stable across
+    /// processes and outcomes are byte-deterministic functions of them.
+    #[must_use]
+    pub fn with_store(
+        response_entries: usize,
+        cell_entries: usize,
+        arena_entries: usize,
+        store: Option<Arc<CellStore>>,
+    ) -> Self {
         Self {
             structures: StructureSet::alpha_21264(),
             responses: Cache::new(response_entries),
             cells: Cache::new(cell_entries),
             arenas: Cache::new(arena_entries),
+            store,
         }
+    }
+
+    /// The persistent cell tier, when configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<CellStore>> {
+        self.store.as_ref()
     }
 
     /// The materialized trace for one `(profile, seed, length)`, cached.
@@ -447,12 +472,30 @@ impl Engine {
         })
     }
 
-    /// One cell's outcome, simulated at most once per cache lifetime.
+    /// One cell's outcome, simulated at most once per *store* lifetime:
+    /// an LRU miss first consults the persistent tier (which re-verifies
+    /// checksums on read), and only a disk miss materializes the trace
+    /// arena and simulates. Freshly simulated outcomes are queued for
+    /// persistence write-behind; the caller never waits on the disk.
     fn outcome(&self, cell: &CellSpec) -> Arc<BenchOutcome> {
-        self.cells.get_or_compute(cell.fingerprint(), || {
-            let arena = self.arena(&cell.profile, &cell.params);
-            Arc::new(cell.run(&self.structures, &arena))
-        })
+        let fingerprint = cell.fingerprint();
+        self.cells.get_or_compute_tiered(
+            fingerprint,
+            || {
+                self.store
+                    .as_ref()
+                    .and_then(|s| s.load(fingerprint))
+                    .map(Arc::new)
+            },
+            || {
+                let arena = self.arena(&cell.profile, &cell.params);
+                let outcome = Arc::new(cell.run(&self.structures, &arena));
+                if let Some(store) = &self.store {
+                    store.put(fingerprint, &outcome);
+                }
+                outcome
+            },
+        )
     }
 
     /// Runs (or recalls) every cell of a sweep on the shared exec pool and

@@ -4,16 +4,23 @@
 //! with `Content-Length` bodies, one request per connection
 //! (`Connection: close` on every response). What it is careful about is
 //! the untrusted edge: the header block and body are size-capped, reads
-//! carry the caller's socket timeout, and every malformed input maps to a
-//! structured error response instead of a panic or a hung worker.
+//! carry the caller's socket timeout *and* a per-connection total-request
+//! deadline (a slowloris peer trickling one byte per read never times out
+//! any individual read, so the per-read timeout alone cannot bound how
+//! long a worker is held), and every malformed input maps to a structured
+//! error response instead of a panic or a hung worker.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use fo4depth_util::Json;
 
 /// Largest accepted request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Body read granularity; each chunk re-checks the request deadline.
+const BODY_CHUNK: usize = 8 * 1024;
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,15 +54,78 @@ impl HttpError {
     }
 }
 
-/// Reads one request from `stream`, honouring its configured read
-/// timeout and rejecting bodies over `max_body`.
+/// Clock for one request's total-read deadline. Each read first checks
+/// the remaining budget (expiry is a 408 regardless of per-read
+/// progress) and then narrows the socket's read timeout to it, so one
+/// slow read cannot overshoot the budget either.
+struct Deadline {
+    at: Instant,
+    /// The socket's configured per-read timeout, restored as the bound
+    /// whenever more budget than that remains.
+    io_timeout: Option<Duration>,
+}
+
+impl Deadline {
+    fn starting_now(stream: &TcpStream, total: Duration) -> Self {
+        Self {
+            at: Instant::now() + total,
+            io_timeout: stream.read_timeout().ok().flatten(),
+        }
+    }
+
+    /// Errors once the budget is spent; otherwise caps the socket's read
+    /// timeout at the remaining budget.
+    fn check(&self, stream: &TcpStream) -> Result<(), HttpError> {
+        let remaining = self.at.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(HttpError::new(
+                408,
+                "deadline_exceeded",
+                "request did not complete within the per-request deadline",
+            ));
+        }
+        let cap = match self.io_timeout {
+            Some(io) => io.min(remaining),
+            None => remaining,
+        };
+        // `set_read_timeout(Some(ZERO))` is an error by contract; `cap`
+        // is nonzero here. A failed set is ignored: the deadline check
+        // above still bounds the loop, one read later.
+        let _ = stream.set_read_timeout(Some(cap));
+        Ok(())
+    }
+
+    /// Attributes a failed read: a read that timed out *because the
+    /// budget ran out* (the check above narrows the socket timeout to
+    /// the remaining budget) is the deadline firing, not a slow link.
+    fn read_error(&self, context: &str, e: &std::io::Error) -> HttpError {
+        if self.at.saturating_duration_since(Instant::now()).is_zero() {
+            return HttpError::new(
+                408,
+                "deadline_exceeded",
+                "request did not complete within the per-request deadline",
+            );
+        }
+        HttpError::new(408, "read_timeout", format!("{context}: {e}"))
+    }
+}
+
+/// Reads one request from `stream`, honouring its configured per-read
+/// timeout and the whole-request `deadline`, and rejecting bodies over
+/// `max_body`.
 ///
 /// # Errors
 ///
 /// Returns an [`HttpError`] describing the malformed or oversized input;
-/// I/O failures (including timeouts) surface as status-408 errors.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let head = read_head(stream)?;
+/// I/O failures (including timeouts) surface as status-408 errors, a
+/// spent deadline as 408 `deadline_exceeded`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: Duration,
+) -> Result<Request, HttpError> {
+    let deadline = Deadline::starting_now(stream, deadline);
+    let head = read_head(stream, &deadline)?;
     let head_text = std::str::from_utf8(&head)
         .map_err(|_| HttpError::new(400, "bad_request", "request head is not UTF-8"))?;
     let mut lines = head_text.split("\r\n");
@@ -117,9 +187,22 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
         (_, Some(n)) => {
             let mut body = vec![0u8; n];
-            stream
-                .read_exact(&mut body)
-                .map_err(|e| HttpError::new(408, "read_timeout", format!("body read: {e}")))?;
+            let mut filled = 0usize;
+            while filled < n {
+                deadline.check(stream)?;
+                let end = (filled + BODY_CHUNK).min(n);
+                match stream.read(&mut body[filled..end]) {
+                    Ok(0) => {
+                        return Err(HttpError::new(
+                            408,
+                            "read_timeout",
+                            "connection closed mid-body",
+                        ));
+                    }
+                    Ok(got) => filled += got,
+                    Err(e) => return Err(deadline.read_error("body read", &e)),
+                }
+            }
             body
         }
     };
@@ -137,10 +220,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 /// a time, so nothing past the terminator is consumed. (A request head is
 /// a few hundred bytes; per-byte reads from the kernel buffer are not a
 /// bottleneck against multi-millisecond simulations.)
-fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+fn read_head(stream: &mut TcpStream, deadline: &Deadline) -> Result<Vec<u8>, HttpError> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
+        deadline.check(stream)?;
         match stream.read(&mut byte) {
             Ok(0) => {
                 return Err(HttpError::new(
@@ -163,13 +247,7 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
                     ));
                 }
             }
-            Err(e) => {
-                return Err(HttpError::new(
-                    408,
-                    "read_timeout",
-                    format!("head read: {e}"),
-                ));
-            }
+            Err(e) => return Err(deadline.read_error("head read", &e)),
         }
     }
 }
@@ -259,9 +337,9 @@ mod tests {
         });
         let (mut server_side, _) = listener.accept().expect("accept");
         server_side
-            .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .set_read_timeout(Some(Duration::from_millis(500)))
             .expect("timeout");
-        let out = read_request(&mut server_side, max_body);
+        let out = read_request(&mut server_side, max_body, Duration::from_secs(5));
         drop(client.join().expect("client"));
         out
     }
@@ -320,6 +398,40 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.status, 408);
+    }
+
+    #[test]
+    fn slowloris_head_trips_the_total_deadline_not_the_read_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // The peer trickles a valid-looking head one byte at a time, each
+        // byte well inside the 500 ms per-read timeout — the classic
+        // slowloris shape that per-read timeouts cannot catch.
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for b in b"GET /metrics HTTP/1.1\r\nX-Slow: yes\r\n\r\n" {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            s
+        });
+        let (mut server_side, _) = listener.accept().expect("accept");
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .expect("timeout");
+        let started = Instant::now();
+        let err = read_request(&mut server_side, 1024, Duration::from_millis(250)).unwrap_err();
+        let elapsed = started.elapsed();
+        assert_eq!(err.status, 408);
+        assert_eq!(err.code, "deadline_exceeded");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "worker freed promptly, held {elapsed:?}"
+        );
+        drop(server_side);
+        drop(client.join().expect("client"));
     }
 
     #[test]

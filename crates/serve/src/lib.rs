@@ -30,10 +30,12 @@ pub mod api;
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod store;
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -42,7 +44,8 @@ use fo4depth_util::{Json, JsonLimits};
 
 use api::{ApiError, Engine, RequestLimits, RunRequest, SweepRequest};
 use http::{error_body, read_request, write_error, write_response, HttpError, Request};
-use metrics::{cache_json, Endpoint, RequestMetrics};
+use metrics::{cache_json, store_json, Endpoint, RequestMetrics};
+use store::{CellStore, FsyncPolicy, NoFault, StoreConfig};
 
 /// Everything configurable about one daemon instance.
 #[derive(Debug, Clone)]
@@ -65,8 +68,16 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Per-socket read/write timeout.
     pub io_timeout: Duration,
+    /// Whole-request read deadline (head + body); a slowloris peer
+    /// trickling bytes under `io_timeout` is cut off here.
+    pub request_deadline: Duration,
     /// Request validation bounds.
     pub limits: RequestLimits,
+    /// Directory for the persistent cell cache; `None` serves from
+    /// memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Durability policy for persistent-cache appends.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -80,7 +91,10 @@ impl Default for ServeConfig {
             arena_entries: 64,
             max_body: 1 << 20,
             io_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
             limits: RequestLimits::default(),
+            cache_dir: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -174,10 +188,22 @@ impl Server {
     /// Returns the bind error (address in use, permission, …).
     pub fn bind(config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
-        let engine = Engine::new(
+        // Opening the store recovers whatever a previous process left:
+        // corruption is truncated and counted, never fatal. Only genuine
+        // environment failures (unreachable directory) propagate.
+        let cell_store = match &config.cache_dir {
+            Some(dir) => {
+                let mut store_config = StoreConfig::new(dir);
+                store_config.fsync = config.fsync;
+                Some(Arc::new(CellStore::open(store_config, Arc::new(NoFault))?))
+            }
+            None => None,
+        };
+        let engine = Engine::with_store(
             config.response_entries,
             config.cell_entries,
             config.arena_entries,
+            cell_store,
         );
         Ok(Self {
             listener,
@@ -254,6 +280,12 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // With the workers gone no new cell outcomes can be produced;
+        // drain the write-behind queue so a clean shutdown leaves every
+        // computed cell (and a fresh sidecar index) on disk.
+        if let Some(cell_store) = self.state.engine.store() {
+            cell_store.flush();
+        }
         Ok(())
     }
 }
@@ -322,7 +354,7 @@ fn worker_loop(state: &Arc<State>) {
 /// Reads, routes, answers, and records one request.
 fn handle_connection(state: &State, stream: &mut TcpStream) {
     let started = Instant::now();
-    let request = match read_request(stream, state.config.max_body) {
+    let request = match read_request(stream, state.config.max_body, state.config.request_deadline) {
         Ok(r) => r,
         Err(e) => {
             write_error(stream, &e);
@@ -457,11 +489,17 @@ fn metrics_body(state: &State) -> String {
         ),
         (
             "caches",
-            Json::obj(vec![
-                ("responses", cache_json(&state.engine.responses.stats())),
-                ("cells", cache_json(&state.engine.cells.stats())),
-                ("arenas", cache_json(&state.engine.arenas.stats())),
-            ]),
+            Json::obj({
+                let mut tiers = vec![
+                    ("responses", cache_json(&state.engine.responses.stats())),
+                    ("cells", cache_json(&state.engine.cells.stats())),
+                    ("arenas", cache_json(&state.engine.arenas.stats())),
+                ];
+                if let Some(cell_store) = state.engine.store() {
+                    tiers.push(("persistent", store_json(&cell_store.stats())));
+                }
+                tiers
+            }),
         ),
         ("endpoints", state.metrics.to_json()),
     ])

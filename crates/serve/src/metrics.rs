@@ -173,6 +173,31 @@ pub fn cache_json(stats: &crate::cache::CacheStats) -> Json {
     ])
 }
 
+/// Renders the persistent store's [`StoreStats`](crate::store::StoreStats)
+/// as the `caches.persistent` member of the `/metrics` document.
+#[must_use]
+pub fn store_json(stats: &crate::store::StoreStats) -> Json {
+    Json::obj(vec![
+        ("entries", Json::uint(stats.entries as u64)),
+        ("log_bytes", Json::uint(stats.log_bytes)),
+        ("hits", Json::uint(stats.hits)),
+        ("misses", Json::uint(stats.misses)),
+        ("read_errors", Json::uint(stats.read_errors)),
+        ("appended", Json::uint(stats.appended)),
+        ("append_errors", Json::uint(stats.append_errors)),
+        ("shed", Json::uint(stats.shed)),
+        ("fsyncs", Json::uint(stats.fsyncs)),
+        ("fsync_errors", Json::uint(stats.fsync_errors)),
+        ("index_writes", Json::uint(stats.index_writes)),
+        ("index_write_errors", Json::uint(stats.index_write_errors)),
+        ("recovered_entries", Json::uint(stats.recovered_entries)),
+        ("dropped_bytes", Json::uint(stats.dropped_bytes)),
+        ("degraded", Json::Bool(stats.degraded)),
+        ("queue_depth", Json::uint(stats.queue_depth as u64)),
+        ("queue_capacity", Json::uint(stats.queue_capacity as u64)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

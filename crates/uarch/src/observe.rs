@@ -41,6 +41,16 @@ impl OccupancyHist {
         Self::default()
     }
 
+    /// Rebuilds a histogram from raw buckets (index = occupancy, value =
+    /// cycles), the inverse of [`OccupancyHist::buckets`]. Used by the
+    /// persistent result cache to round-trip observed counters through
+    /// their on-disk encoding bit-exactly — including any trailing zero
+    /// buckets, which participate in equality.
+    #[must_use]
+    pub fn from_buckets(buckets: Vec<u64>) -> Self {
+        Self { buckets }
+    }
+
     /// Records one cycle at `occupancy` entries.
     pub fn record(&mut self, occupancy: usize) {
         if self.buckets.len() <= occupancy {

@@ -1,0 +1,148 @@
+//! Filesystem helpers for crash-safe persistence: atomic file
+//! replacement and self-cleaning temporary directories.
+//!
+//! The persistent cell cache writes its sidecar index (and compacted
+//! logs) with the classic write-new/fsync/rename dance so a reader never
+//! observes a half-written file: either the old bytes or the new bytes,
+//! nothing in between ([`write_atomic`]). Tests that exercise the store
+//! get per-test scratch directories that cannot collide across parallel
+//! `cargo test` processes and are removed on drop ([`TempDir`]).
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide uniquifier for temp names (two `write_atomic` calls on
+/// the same path from different threads must not share a scratch file).
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn unique_suffix() -> String {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("{}.{n}.{nanos}", std::process::id())
+}
+
+/// Flushes a directory's entry table so a just-renamed file survives a
+/// crash. Best-effort off unix (directories cannot be opened for sync on
+/// all platforms); rename atomicity itself does not depend on it.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: writes a sibling temp file,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory.
+/// A crash at any step leaves either the old file or the new file, never
+/// a torn mixture.
+///
+/// # Errors
+///
+/// Returns the first I/O failure; the temp file is removed on error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", unique_suffix()));
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = parent {
+            fsync_dir(dir)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A uniquely named scratch directory under the system temp dir, removed
+/// (recursively) on drop. Names carry the pid, a process-wide counter,
+/// and sub-second time, so parallel test binaries and threads cannot
+/// collide.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system-temp>/<prefix>.<unique>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the creation failure after a few collision retries.
+    pub fn new(prefix: &str) -> io::Result<Self> {
+        for _ in 0..16 {
+            let path = std::env::temp_dir().join(format!("{prefix}.{}", unique_suffix()));
+            match fs::create_dir_all(path.parent().expect("temp dir has a parent"))
+                .and_then(|()| fs::create_dir(&path))
+            {
+                Ok(()) => return Ok(Self { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "could not create a unique temp dir",
+        ))
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_temp_files() {
+        let dir = TempDir::new("fo4depth-fsio").expect("temp dir");
+        let target = dir.path().join("file.bin");
+        write_atomic(&target, b"first").expect("initial write");
+        assert_eq!(fs::read(&target).expect("read"), b"first");
+        write_atomic(&target, b"second, longer content").expect("replace");
+        assert_eq!(fs::read(&target).expect("read"), b"second, longer content");
+        let leftovers: Vec<_> = fs::read_dir(dir.path())
+            .expect("list")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("file.bin")]);
+    }
+
+    #[test]
+    fn temp_dirs_are_unique_and_removed_on_drop() {
+        let a = TempDir::new("fo4depth-fsio").expect("a");
+        let b = TempDir::new("fo4depth-fsio").expect("b");
+        assert_ne!(a.path(), b.path());
+        let path = a.path().to_path_buf();
+        assert!(path.is_dir());
+        drop(a);
+        assert!(!path.exists(), "dropped temp dir is removed");
+        assert!(b.path().is_dir(), "sibling unaffected");
+    }
+}

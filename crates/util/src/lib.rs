@@ -28,14 +28,18 @@
 //! ```
 
 pub mod args;
+pub mod crc;
 pub mod dist;
+pub mod fsio;
 pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use args::{ArgError, Args};
+pub use crc::crc32c;
 pub use dist::{Discrete, Geometric, Zipf};
+pub use fsio::TempDir;
 pub use hash::{fnv1a, Fnv64};
 pub use json::{Json, JsonError, JsonLimits};
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};

@@ -22,6 +22,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fo4depth::fo4::Fo4;
+use fo4depth::serve::store::{self, FsyncPolicy};
 use fo4depth::serve::{ServeConfig, Server};
 use fo4depth::study::experiments::registry;
 use fo4depth::study::floorplan::Floorplan;
@@ -59,9 +60,14 @@ fn usage() -> ExitCode {
                   time the fixed sweep workload (trace generation and\n\
                   simulation split out); emit a JSON bench report\n\
            serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-                 [--cell-cache N] [--max-body BYTES] [--timeout-ms N] [--jobs N]\n\
+                 [--cell-cache N] [--max-body BYTES] [--timeout-ms N]\n\
+                 [--deadline-ms N] [--cache-dir DIR] [--fsync always|batch|off]\n\
+                 [--jobs N]\n\
                   run the HTTP simulation service (caching, coalescing,\n\
-                  backpressure; SIGTERM drains and exits)\n\
+                  backpressure; SIGTERM drains and exits); --cache-dir\n\
+                  persists cell outcomes across restarts\n\
+           cache <stat|verify|compact> --cache-dir DIR\n\
+                  inspect or rewrite the persistent cell cache offline\n\
          `--jobs N` sizes the shared execution pool (1 = serial); the\n\
          FO4DEPTH_THREADS env var sets the default"
     );
@@ -505,6 +511,19 @@ fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
     if let Some(ms) = args.take_opt::<u64>("--timeout-ms")? {
         config.io_timeout = std::time::Duration::from_millis(ms.max(1));
     }
+    if let Some(ms) = args.take_opt::<u64>("--deadline-ms")? {
+        config.request_deadline = std::time::Duration::from_millis(ms.max(1));
+    }
+    if let Some(dir) = args.take_opt::<String>("--cache-dir")? {
+        config.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(policy) = args.take_opt::<String>("--fsync")? {
+        config.fsync = FsyncPolicy::parse(&policy).ok_or_else(|| {
+            ArgError(format!(
+                "unknown fsync policy {policy}; expected always, batch, or off"
+            ))
+        })?;
+    }
     args.finish()?;
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -530,6 +549,85 @@ fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
             eprintln!("serve failed: {e}");
             Ok(ExitCode::FAILURE)
         }
+    }
+}
+
+/// Offline maintenance of a persistent cell cache directory: `stat`
+/// summarizes, `verify` additionally decodes every live payload, and
+/// `compact` rewrites the log atomically keeping only the winning record
+/// per fingerprint. None of these may race a live daemon on the same
+/// directory.
+fn cmd_cache(mut args: Args) -> Result<ExitCode, ArgError> {
+    let dir = args
+        .take_opt::<String>("--cache-dir")?
+        .ok_or_else(|| ArgError("cache needs --cache-dir DIR".into()))?;
+    let action = args
+        .take_positional()
+        .ok_or_else(|| ArgError("cache needs an action: stat, verify, or compact".into()))?;
+    args.finish()?;
+    let dir = std::path::Path::new(&dir);
+
+    let print_report = |label: &str, r: &store::LogReport| {
+        println!("{label}: {}", dir.join(store::LOG_FILE).display());
+        println!(
+            "  header          {}",
+            if r.header_ok { "ok" } else { "BAD" }
+        );
+        println!("  log bytes       {}", r.log_bytes);
+        println!("  records         {}", r.records);
+        println!("  live entries    {}", r.entries);
+        println!("  live bytes      {}", r.live_bytes);
+        println!("  corrupt tail    {} bytes", r.corrupt_tail_bytes);
+    };
+
+    match action.as_str() {
+        "stat" | "verify" => {
+            let verify = action == "verify";
+            let report = match store::inspect(dir, verify) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot read cache log: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            print_report(if verify { "verify" } else { "stat" }, &report);
+            if verify {
+                println!("  payload errors  {}", report.payload_errors);
+            }
+            // stat reports whatever it finds; verify fails loudly when
+            // any live payload is undecodable (recovery would drop it).
+            if verify && (report.payload_errors > 0 || !report.header_ok) {
+                return Ok(ExitCode::FAILURE);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "compact" => {
+            let report = match store::compact(dir) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("compact failed: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            println!("compacted: {}", dir.join(store::LOG_FILE).display());
+            println!(
+                "  bytes           {} -> {}",
+                report.bytes_before, report.bytes_after
+            );
+            println!("  live entries    {}", report.entries);
+            println!(
+                "  superseded      {} records dropped",
+                report.superseded_dropped
+            );
+            println!(
+                "  corrupt tail    {} bytes dropped",
+                report.corrupt_tail_bytes
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(ArgError(format!(
+            "unknown cache action {other}; expected stat, verify, or compact"
+        ))),
     }
 }
 
@@ -592,6 +690,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(args),
         "perf" => cmd_perf(args),
         "serve" => cmd_serve(args),
+        "cache" => cmd_cache(args),
         "experiments" => args.finish().map(|()| {
             for e in registry() {
                 println!(

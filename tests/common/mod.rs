@@ -1,0 +1,204 @@
+//! Shared harness for the end-to-end service tests: a real server on an
+//! ephemeral port (optionally backed by a per-test persistent cache
+//! directory), plus a hand-rolled HTTP/1.1 client.
+//!
+//! Hygiene rules the harness enforces so `cargo test`'s parallel runners
+//! cannot interfere with each other:
+//!
+//! * every server binds `127.0.0.1:0` — the kernel picks a free port;
+//! * every cache-backed server gets its own unique scratch directory
+//!   ([`fo4depth::util::TempDir`]), removed when the test's server drops;
+//! * drop order is server-then-directory, so the daemon's shutdown flush
+//!   never races the cleanup.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a subset of it.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::Duration;
+
+use fo4depth::serve::{ServeConfig, Server, ShutdownHandle};
+use fo4depth::util::{Json, TempDir};
+
+/// A live server on an ephemeral port, shut down (gracefully) on drop.
+/// When started with [`start_with_cache_dir`], also owns the cache
+/// scratch directory, removed after the server has fully drained.
+pub struct TestServer {
+    pub addr: SocketAddr,
+    pub handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Dropped after the shutdown in `Drop` runs, never before.
+    cache_dir: Option<TempDir>,
+}
+
+impl TestServer {
+    /// The persistent cache directory, when this server has one.
+    pub fn cache_path(&self) -> &Path {
+        self.cache_dir
+            .as_ref()
+            .expect("server was started with a cache dir")
+            .path()
+    }
+
+    /// Releases ownership of the cache directory (so a later server can
+    /// reuse it) while still shutting this server down on drop.
+    pub fn take_cache_dir(&mut self) -> TempDir {
+        self.cache_dir
+            .take()
+            .expect("server was started with a cache dir")
+    }
+}
+
+/// Starts a server on an ephemeral port.
+pub fn start(mut config: ServeConfig) -> TestServer {
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("server runs"));
+    TestServer {
+        addr,
+        handle,
+        thread: Some(thread),
+        cache_dir: None,
+    }
+}
+
+/// Starts a server with a fresh, unique persistent cache directory.
+pub fn start_with_cache_dir(mut config: ServeConfig) -> TestServer {
+    let dir = TempDir::new("fo4depth-serve-test").expect("test cache dir");
+    config.cache_dir = Some(dir.path().to_path_buf());
+    let mut server = start(config);
+    server.cache_dir = Some(dir);
+    server
+}
+
+/// Starts a server on an existing cache directory (warm restart), taking
+/// ownership so the directory is removed when this server drops.
+pub fn restart_on_cache_dir(mut config: ServeConfig, dir: TempDir) -> TestServer {
+    config.cache_dir = Some(dir.path().to_path_buf());
+    let mut server = start(config);
+    server.cache_dir = Some(dir);
+    server
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread joins");
+        }
+        // `cache_dir` (if still owned) drops here, after the drain.
+    }
+}
+
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn json(&self) -> Json {
+        Json::parse(&self.body).expect("response body is valid JSON")
+    }
+}
+
+/// Sends raw request bytes and reads the (connection-close delimited)
+/// response.
+pub fn send(addr: SocketAddr, raw: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("client timeout");
+    stream.write_all(raw).expect("send request");
+    read_response(&mut stream)
+}
+
+/// Reads one connection-close delimited response off an open stream.
+pub fn read_response(stream: &mut TcpStream) -> Response {
+    let mut buf = Vec::new();
+    // A shed connection may be reset once the response is written; what
+    // was read before the reset is still the complete response.
+    if let Err(e) = stream.read_to_end(&mut buf) {
+        assert!(
+            buf.windows(4).any(|w| w == b"\r\n\r\n"),
+            "connection failed before a complete response arrived: {e}"
+        );
+    }
+    let text = String::from_utf8(buf).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    send(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+pub fn get(addr: SocketAddr, path: &str) -> Response {
+    send(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes(),
+    )
+}
+
+pub fn metrics(addr: SocketAddr) -> Json {
+    let r = get(addr, "/metrics");
+    assert_eq!(r.status, 200);
+    r.json()
+}
+
+pub fn counter(doc: &Json, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    node.as_u64().expect("integer counter")
+}
+
+/// Polls `/metrics` until `path` reaches at least `target` (write-behind
+/// persistence means a response can arrive before its cells are on
+/// disk). Panics after ~5 s.
+pub fn wait_for_counter(addr: SocketAddr, path: &[&str], target: u64) -> u64 {
+    for _ in 0..200 {
+        let value = counter(&metrics(addr), path);
+        if value >= target {
+            return value;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("counter {path:?} never reached {target}");
+}

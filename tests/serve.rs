@@ -7,135 +7,20 @@
 //! identical requests, load shedding at the bounded queue, and graceful
 //! drain on shutdown.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use common::{counter, get, metrics, post, read_response, send, start, Response};
 use fo4depth::fo4::Fo4;
-use fo4depth::serve::{ServeConfig, Server, ShutdownHandle};
+use fo4depth::serve::ServeConfig;
 use fo4depth::study::report;
 use fo4depth::study::sim::SimParams;
 use fo4depth::study::sweep::CoreKind;
 use fo4depth::util::Json;
 use fo4depth::workload::profiles;
-
-/// A live server on an ephemeral port, shut down (gracefully) on drop.
-struct TestServer {
-    addr: SocketAddr,
-    handle: ShutdownHandle,
-    thread: Option<std::thread::JoinHandle<()>>,
-}
-
-fn start(mut config: ServeConfig) -> TestServer {
-    config.addr = "127.0.0.1:0".to_string();
-    let server = Server::bind(config).expect("bind ephemeral port");
-    let addr = server.local_addr().expect("bound address");
-    let handle = server.shutdown_handle();
-    let thread = std::thread::spawn(move || server.run().expect("server runs"));
-    TestServer {
-        addr,
-        handle,
-        thread: Some(thread),
-    }
-}
-
-impl Drop for TestServer {
-    fn drop(&mut self) {
-        self.handle.shutdown();
-        if let Some(t) = self.thread.take() {
-            t.join().expect("server thread joins");
-        }
-    }
-}
-
-struct Response {
-    status: u16,
-    headers: Vec<(String, String)>,
-    body: String,
-}
-
-impl Response {
-    fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn json(&self) -> Json {
-        Json::parse(&self.body).expect("response body is valid JSON")
-    }
-}
-
-/// Sends raw request bytes and reads the (connection-close delimited)
-/// response.
-fn send(addr: SocketAddr, raw: &[u8]) -> Response {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .expect("client timeout");
-    stream.write_all(raw).expect("send request");
-    let mut buf = Vec::new();
-    // A shed connection may be reset once the response is written; what
-    // was read before the reset is still the complete response.
-    if let Err(e) = stream.read_to_end(&mut buf) {
-        assert!(
-            buf.windows(4).any(|w| w == b"\r\n\r\n"),
-            "connection failed before a complete response arrived: {e}"
-        );
-    }
-    let text = String::from_utf8(buf).expect("UTF-8 response");
-    let (head, body) = text.split_once("\r\n\r\n").expect("complete response head");
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().expect("status line");
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
-        .collect();
-    Response {
-        status,
-        headers,
-        body: body.to_string(),
-    }
-}
-
-fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
-    send(
-        addr,
-        format!(
-            "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )
-}
-
-fn get(addr: SocketAddr, path: &str) -> Response {
-    send(
-        addr,
-        format!("GET {path} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes(),
-    )
-}
-
-fn metrics(addr: SocketAddr) -> Json {
-    let r = get(addr, "/metrics");
-    assert_eq!(r.status, 200);
-    r.json()
-}
-
-fn counter(doc: &Json, path: &[&str]) -> u64 {
-    let mut node = doc;
-    for key in path {
-        node = node.get(key).unwrap_or_else(|| panic!("missing {key}"));
-    }
-    node.as_u64().expect("integer counter")
-}
 
 #[test]
 fn report_is_byte_identical_to_offline_and_repeats_hit_the_cache() {
@@ -422,4 +307,44 @@ fn malformed_requests_get_structured_errors() {
     let m = metrics(server.addr);
     assert!(counter(&m, &["endpoints", "report", "errors"]) >= 3);
     assert!(counter(&m, &["endpoints", "other", "requests"]) >= 2);
+}
+
+#[test]
+fn slowloris_connection_is_cut_by_the_total_request_deadline() {
+    // A client that trickles one byte at a time stays inside the per-read
+    // io_timeout forever; only the whole-request deadline can stop it.
+    let server = start(ServeConfig {
+        io_timeout: Duration::from_secs(5),
+        request_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client timeout");
+    let started = Instant::now();
+    let drip = b"GET /healthz HTTP/1.1\r\nhost: test\r\n\r\n";
+    for &byte in drip {
+        // Once the server gives up on us the write fails (reset); the
+        // 408 it wrote first is still waiting in our receive buffer.
+        if stream.write_all(&[byte]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 408, "body: {}", response.body);
+    assert_eq!(
+        response
+            .json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "deadline fired within the budget, not at the io_timeout"
+    );
 }
