@@ -24,7 +24,7 @@ use fo4depth_workload::{BenchProfile, TraceArena};
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
 use crate::sim::{BenchOutcome, SimParams};
-use crate::sweep::{run_grid_cell, CoreKind, DepthSweep, SweepPoint};
+use crate::sweep::{run_grid_cell, run_grid_group, CoreKind, DepthSweep, SweepPoint};
 
 /// Fingerprint-schema version: folded into every digest, bumped whenever a
 /// simulation change makes previously cached outcomes stale.
@@ -92,6 +92,49 @@ impl CellSpec {
             &self.params,
         )
     }
+}
+
+/// Runs a group of cells that differ only in clock point as one
+/// lane-parallel batch over their shared arena, returning outcomes
+/// positionally. Each outcome is bit-identical to running the same cell
+/// through the scalar [`CellSpec::run`] — a batch-filled cache entry and a
+/// scalar-filled one are interchangeable.
+///
+/// # Panics
+///
+/// Panics if the cells disagree on anything other than `t_useful` (they
+/// would not share an arena, a fetch plan, or an observation mode), or if
+/// `cells` is empty.
+#[must_use]
+pub fn run_cell_group(
+    cells: &[CellSpec],
+    structures: &StructureSet,
+    arena: &Arc<TraceArena>,
+) -> Vec<BenchOutcome> {
+    let first = cells.first().expect("a group needs at least one cell");
+    for c in cells {
+        assert_eq!(c.core, first.core, "mixed cores in one lane batch");
+        assert_eq!(
+            c.profile.name, first.profile.name,
+            "mixed benchmarks in one lane batch"
+        );
+        assert_eq!(c.params, first.params, "mixed params in one lane batch");
+        assert_eq!(
+            c.observed, first.observed,
+            "mixed observation in one lane batch"
+        );
+        assert_eq!(
+            c.structures_tag, first.structures_tag,
+            "mixed structure sets in one lane batch"
+        );
+    }
+    debug_assert_eq!(arena.profile().name, first.profile.name, "arena mismatch");
+    let machines: Vec<ScaledMachine> = cells
+        .iter()
+        .map(|c| ScaledMachine::at(structures, c.t_useful, c.overhead))
+        .collect();
+    let configs: Vec<&fo4depth_pipeline::CoreConfig> = machines.iter().map(|m| &m.config).collect();
+    run_grid_group(first.core, first.observed, &configs, arena, &first.params)
 }
 
 /// Decomposes a sweep into its cells, in grid order (points major,

@@ -10,10 +10,17 @@
 
 use std::sync::Arc;
 
-use fo4depth_pipeline::{CoreConfig, Counters, InOrderCore, OutOfOrderCore, SimResult};
+use fo4depth_pipeline::{
+    CoreConfig, Counters, FetchPlan, InOrderCore, OutOfOrderCore, SimResult, WindowConfig,
+};
 use fo4depth_util::harmonic_mean;
-use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
+use fo4depth_workload::{BenchClass, BenchProfile, SharedTrace, TraceArena};
 use serde::{Deserialize, Serialize};
+
+/// Committed instructions per lane-advance step of a batched run. Lanes of
+/// a batch stay within one chunk of each other in trace position, so the
+/// shared arena's columns are hot across lanes.
+const LANE_CHUNK: u64 = 8192;
 
 /// Instruction counts and seeding for one simulation.
 ///
@@ -196,6 +203,205 @@ fn run_inorder_inner(
     }
 }
 
+/// Runs one batch of out-of-order lanes over a shared trace arena in
+/// chunked lockstep: one [`FetchPlan`] is built for the arena's
+/// materialized prefix and replayed by every lane whose fetch geometry
+/// matches it (under [`crate::ScaledMachine`] scaling, all of them — the
+/// predictor and BTB do not scale with the clock), and the lanes advance
+/// through the trace within [`LANE_CHUNK`] committed instructions of each
+/// other, so the arena's 21-B/inst records are decoded while hot for all
+/// lanes of the batch.
+///
+/// `configs[i]` drives lane `i`; outcomes come back positionally. Each
+/// lane's outcome is bit-identical to the scalar [`run_ooo`] /
+/// [`run_ooo_observed`] on the same inputs (the differential harness in
+/// `tests/batched_equivalence.rs` enforces this byte-for-byte).
+#[must_use]
+pub fn run_ooo_batched(
+    configs: &[&CoreConfig],
+    trace: &Arc<TraceArena>,
+    params: &SimParams,
+    observe: bool,
+) -> Vec<BenchOutcome> {
+    let conventional = configs
+        .iter()
+        .all(|c| matches!(c.window, WindowConfig::Conventional { .. }));
+    if conventional {
+        // The hot configuration: monomorphize the lanes over the concrete
+        // window so the per-cycle window probes inline.
+        run_batched_with(configs, trace, params, observe, |cfg, plan, shared| {
+            let mut core = OutOfOrderCore::new_conventional(cfg.clone(), shared.cursor());
+            if plan.matches(cfg) {
+                core.use_fetch_plan(Arc::clone(plan));
+            }
+            core.set_idle_coalescing(true);
+            core
+        })
+    } else {
+        run_batched_with(configs, trace, params, observe, |cfg, plan, shared| {
+            let mut core = OutOfOrderCore::new(cfg.clone(), shared.cursor());
+            if plan.matches(cfg) {
+                core.use_fetch_plan(Arc::clone(plan));
+            }
+            core.set_idle_coalescing(true);
+            core
+        })
+    }
+}
+
+/// [`run_ooo_batched`] for the in-order core; each lane is bit-identical
+/// to the scalar [`run_inorder`] / [`run_inorder_observed`].
+#[must_use]
+pub fn run_inorder_batched(
+    configs: &[&CoreConfig],
+    trace: &Arc<TraceArena>,
+    params: &SimParams,
+    observe: bool,
+) -> Vec<BenchOutcome> {
+    run_batched_with(configs, trace, params, observe, |cfg, plan, shared| {
+        let mut core = InOrderCore::new(cfg.clone(), shared.cursor());
+        if plan.matches(cfg) {
+            core.use_fetch_plan(Arc::clone(plan));
+        }
+        core.set_idle_coalescing(true);
+        core
+    })
+}
+
+/// A core the batched driver can advance lane-by-lane. Both cores already
+/// expose this surface; the trait only lets [`run_batched_with`] be
+/// written once.
+trait Lane {
+    fn run(&mut self, instructions: u64) -> SimResult;
+    fn snapshot(&self) -> SimResult;
+    fn enable_counters(&mut self);
+    fn take_counters(&mut self) -> Option<Counters>;
+    fn adopt_warm_hierarchy(&mut self, warm: &fo4depth_uarch::cache::Hierarchy);
+}
+
+impl<I, W, T> Lane for OutOfOrderCore<I, W, T>
+where
+    I: Iterator<Item = fo4depth_isa::Instruction>,
+    W: fo4depth_uarch::window::WindowModel,
+    T: fo4depth_pipeline::ooo::WaitTables,
+{
+    fn run(&mut self, n: u64) -> SimResult {
+        OutOfOrderCore::run(self, n)
+    }
+    fn snapshot(&self) -> SimResult {
+        OutOfOrderCore::snapshot(self)
+    }
+    fn enable_counters(&mut self) {
+        OutOfOrderCore::enable_counters(self);
+    }
+    fn take_counters(&mut self) -> Option<Counters> {
+        OutOfOrderCore::take_counters(self)
+    }
+    fn adopt_warm_hierarchy(&mut self, warm: &fo4depth_uarch::cache::Hierarchy) {
+        OutOfOrderCore::adopt_warm_hierarchy(self, warm);
+    }
+}
+
+impl<I: Iterator<Item = fo4depth_isa::Instruction>> Lane for InOrderCore<I> {
+    fn run(&mut self, n: u64) -> SimResult {
+        InOrderCore::run(self, n)
+    }
+    fn snapshot(&self) -> SimResult {
+        InOrderCore::snapshot(self)
+    }
+    fn enable_counters(&mut self) {
+        InOrderCore::enable_counters(self);
+    }
+    fn take_counters(&mut self) -> Option<Counters> {
+        InOrderCore::take_counters(self)
+    }
+    fn adopt_warm_hierarchy(&mut self, warm: &fo4depth_uarch::cache::Hierarchy) {
+        InOrderCore::adopt_warm_hierarchy(self, warm);
+    }
+}
+
+/// Advances every lane through `total` committed instructions in
+/// [`LANE_CHUNK`]-sized steps, each step aimed at an *absolute* commit
+/// target. A core's run loop stops at the first cycle where the committed
+/// count reaches its target, which can overshoot by a few instructions
+/// (one commit burst); chaining *relative* `run(step)` calls would
+/// accumulate that overshoot into a different final target than the scalar
+/// path's single `run(total)`. Against absolute targets the final chunk's
+/// stop condition is `committed >= base + total` — exactly the scalar
+/// call's — and intermediate pauses are invisible because a core's
+/// cycle-by-cycle evolution does not depend on its run target.
+fn lockstep<L: Lane>(lanes: &mut [L], total: u64) {
+    let bases: Vec<u64> = lanes.iter().map(|l| l.snapshot().instructions).collect();
+    let mut done = 0;
+    while done < total {
+        let step = LANE_CHUNK.min(total - done);
+        done += step;
+        for (lane, &base) in lanes.iter_mut().zip(&bases) {
+            let target = base + done;
+            let committed = lane.snapshot().instructions;
+            if committed < target {
+                lane.run(target - committed);
+            }
+        }
+    }
+}
+
+fn run_batched_with<L, F>(
+    configs: &[&CoreConfig],
+    trace: &Arc<TraceArena>,
+    params: &SimParams,
+    observe: bool,
+    build: F,
+) -> Vec<BenchOutcome>
+where
+    L: Lane,
+    F: Fn(&CoreConfig, &Arc<FetchPlan>, &SharedTrace) -> L,
+{
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let profile = trace.profile();
+    let (name, class) = (profile.name.clone(), profile.class);
+    // One decode of the arena's 21-B/inst records serves the fetch plan
+    // and every lane; per-lane fetch then reads the contiguous decoded
+    // buffer instead of re-unpacking the columnar prefix N times.
+    let shared = SharedTrace::decode(trace);
+    let plan = Arc::new(FetchPlan::build(configs[0], shared.cursor(), trace.len()));
+    let mut lanes: Vec<L> = configs
+        .iter()
+        .map(|cfg| build(cfg, &plan, &shared))
+        .collect();
+    // Cache prewarming is timing-independent (tag state is a pure function
+    // of the access order), so one template hierarchy is warmed and its
+    // state replicated into every lane instead of replaying the ~8k-access
+    // prewarm sequence N times.
+    let mut warm = fo4depth_uarch::cache::Hierarchy::new(configs[0].hierarchy);
+    for &a in trace.prewarm_addresses() {
+        let _ = warm.access(a);
+    }
+    for lane in &mut lanes {
+        lane.adopt_warm_hierarchy(&warm);
+    }
+    lockstep(&mut lanes, params.warmup);
+    if observe {
+        for lane in &mut lanes {
+            lane.enable_counters();
+        }
+    }
+    let starts: Vec<SimResult> = lanes.iter().map(Lane::snapshot).collect();
+    lockstep(&mut lanes, params.measure);
+    lanes
+        .iter_mut()
+        .zip(starts)
+        .map(|(lane, start)| BenchOutcome {
+            name: name.clone(),
+            class,
+            result: lane.snapshot().since(&start),
+            counters: lane.take_counters(),
+        })
+        .collect()
+}
+
 /// Runs a set of simulations in parallel on the shared execution pool
 /// (they are independent and CPU-bound). `items` is typically a slice of
 /// [`Arc<TraceArena>`] from [`arenas_for`]. Results come back in input
@@ -304,6 +510,87 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_runs() {
+        let params = SimParams {
+            warmup: 2_000,
+            measure: 8_000,
+            seed: 1,
+        };
+        let p = profiles::by_name("164.gzip").unwrap();
+        let arena = Arc::new(TraceArena::generate(p, params.seed, params.trace_len()));
+        let cfg = CoreConfig::alpha_like();
+        for observe in [false, true] {
+            let batched = run_ooo_batched(&[&cfg, &cfg], &arena, &params, observe);
+            let scalar = if observe {
+                run_ooo_observed(&cfg, &arena, &params)
+            } else {
+                run_ooo(&cfg, &arena, &params)
+            };
+            assert_eq!(batched[0], scalar, "ooo observe={observe} lane 0");
+            assert_eq!(batched[1], scalar, "ooo observe={observe} lane 1");
+            let batched = run_inorder_batched(&[&cfg, &cfg], &arena, &params, observe);
+            let scalar = if observe {
+                run_inorder_observed(&cfg, &arena, &params)
+            } else {
+                run_inorder(&cfg, &arena, &params)
+            };
+            assert_eq!(batched[0], scalar, "inorder observe={observe} lane 0");
+            assert_eq!(batched[1], scalar, "inorder observe={observe} lane 1");
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_at_scaled_points() {
+        use crate::latency::StructureSet;
+        use crate::scaler::ScaledMachine;
+        use fo4depth_fo4::Fo4;
+        let params = SimParams {
+            warmup: 2_000,
+            measure: 8_000,
+            seed: 1,
+        };
+        let structures = StructureSet::alpha_21264();
+        for bench in ["164.gzip", "181.mcf", "171.swim"] {
+            let p = profiles::by_name(bench).unwrap();
+            let arena = Arc::new(TraceArena::generate(p, params.seed, params.trace_len()));
+            for t in [2.0, 6.0, 16.0] {
+                let m = ScaledMachine::at(&structures, Fo4::new(t), Fo4::new(1.8));
+                let cfg = &m.config;
+                let batched = run_ooo_batched(&[cfg], &arena, &params, false);
+                let scalar = run_ooo(cfg, &arena, &params);
+                assert_eq!(batched[0], scalar, "ooo {bench} t={t}");
+                let batched = run_inorder_batched(&[cfg], &arena, &params, false);
+                let scalar = run_inorder(cfg, &arena, &params);
+                assert_eq!(batched[0], scalar, "inorder {bench} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_multi_lane_matches_scalar() {
+        use crate::latency::StructureSet;
+        use crate::scaler::ScaledMachine;
+        use fo4depth_fo4::Fo4;
+        let params = SimParams {
+            warmup: 10_000,
+            measure: 40_000,
+            seed: 1,
+        };
+        let structures = StructureSet::alpha_21264();
+        let p = profiles::by_name("164.gzip").unwrap();
+        let arena = Arc::new(TraceArena::generate(p, params.seed, params.trace_len()));
+        let machines: Vec<ScaledMachine> = (2..=16)
+            .map(|t| ScaledMachine::at(&structures, Fo4::new(f64::from(t)), Fo4::new(1.8)))
+            .collect();
+        let configs: Vec<&CoreConfig> = machines.iter().map(|m| &m.config).collect();
+        let batched = run_ooo_batched(&configs, &arena, &params, false);
+        for (i, cfg) in configs.iter().enumerate() {
+            let scalar = run_ooo(cfg, &arena, &params);
+            assert_eq!(batched[i], scalar, "ooo lane {i} (t={})", i + 2);
+        }
     }
 
     #[test]

@@ -15,8 +15,8 @@ use serde::{Deserialize, Serialize};
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
 use crate::sim::{
-    arenas_for_on, run_inorder, run_inorder_observed, run_ooo, run_ooo_observed, summarize,
-    BenchOutcome, SimParams,
+    arenas_for_on, run_inorder, run_inorder_batched, run_inorder_observed, run_ooo,
+    run_ooo_batched, run_ooo_observed, summarize, BenchOutcome, SimParams,
 };
 
 /// Which core model a sweep exercises.
@@ -265,6 +265,144 @@ pub fn depth_sweep_arenas(
         core: spec.core,
         overhead: spec.overhead.get(),
         points,
+    }
+}
+
+/// Runs a sweep on an explicit pool with the lane-parallel batched engine:
+/// cells are grouped by benchmark, each group's clock points are split into
+/// batches of up to `lanes` lanes, and every batch makes one pass over its
+/// shared [`TraceArena`] driving all of its lanes in lockstep (see
+/// [`run_ooo_batched`]). A batch is one pool task, so results are
+/// bit-identical at any pool size; they are also bit-identical to the
+/// scalar [`depth_sweep_arenas`] — the scalar path is retained as the
+/// reference implementation and the differential harness in
+/// `tests/batched_equivalence.rs` enforces the equivalence byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero or `arenas` is not positionally aligned with
+/// `spec.profiles`.
+#[must_use]
+pub fn depth_sweep_arenas_batched(
+    spec: &SweepSpec<'_>,
+    arenas: &[Arc<TraceArena>],
+    pool: &fo4depth_exec::Pool,
+    lanes: usize,
+) -> DepthSweep {
+    assert!(lanes > 0, "a batch needs at least one lane");
+    assert_eq!(
+        arenas.len(),
+        spec.profiles.len(),
+        "one arena per profile, in order"
+    );
+    for (arena, profile) in arenas.iter().zip(spec.profiles) {
+        assert_eq!(
+            arena.profile().name,
+            profile.name,
+            "arena/profile misalignment"
+        );
+    }
+    let machines: Vec<ScaledMachine> = spec
+        .points
+        .iter()
+        .map(|&t| ScaledMachine::at(spec.structures, t, spec.overhead))
+        .collect();
+    // One task per (benchmark × point-batch): `lanes` clock points of one
+    // benchmark, sharing a single pass over that benchmark's arena. Ragged
+    // tails (point count not divisible by `lanes`) become short batches.
+    let tasks: Vec<(usize, std::ops::Range<usize>)> = (0..spec.profiles.len())
+        .flat_map(|bi| {
+            (0..spec.points.len())
+                .step_by(lanes)
+                .map(move |lo| (bi, lo..(lo + lanes).min(spec.points.len())))
+        })
+        .collect();
+    let batches = pool.map(&tasks, |(bi, pis)| {
+        let configs: Vec<&CoreConfig> = pis.clone().map(|pi| &machines[pi].config).collect();
+        run_grid_group(
+            spec.core,
+            spec.observed,
+            &configs,
+            &arenas[*bi],
+            spec.params,
+        )
+    });
+    // Scatter batch results back into points-major grid order.
+    let mut grid: Vec<Option<BenchOutcome>> = Vec::new();
+    grid.resize_with(spec.points.len() * spec.profiles.len(), || None);
+    for ((bi, pis), batch) in tasks.into_iter().zip(batches) {
+        for (pi, outcome) in pis.zip(batch) {
+            grid[pi * spec.profiles.len() + bi] = Some(outcome);
+        }
+    }
+    let mut outcomes = grid.into_iter().map(|o| o.expect("every cell filled"));
+    let points = spec
+        .points
+        .iter()
+        .zip(&machines)
+        .map(|(&t, machine)| SweepPoint {
+            t_useful: t.get(),
+            period_ps: machine.period_ps(),
+            outcomes: outcomes.by_ref().take(spec.profiles.len()).collect(),
+        })
+        .collect();
+    DepthSweep {
+        core: spec.core,
+        overhead: spec.overhead.get(),
+        points,
+    }
+}
+
+/// [`depth_sweep_arenas_batched`] with arena materialization included, on
+/// an explicit pool.
+#[must_use]
+pub fn depth_sweep_spec_batched(
+    spec: &SweepSpec<'_>,
+    pool: &fo4depth_exec::Pool,
+    lanes: usize,
+) -> DepthSweep {
+    let arenas = build_arenas(spec.profiles, spec.params, pool);
+    depth_sweep_arenas_batched(spec, &arenas, pool, lanes)
+}
+
+/// The batched counterpart of [`depth_sweep`]: the paper's standard sweep
+/// with all of a benchmark's clock points in one batch.
+#[must_use]
+pub fn depth_sweep_batched(
+    core: CoreKind,
+    profiles: &[BenchProfile],
+    params: &SimParams,
+) -> DepthSweep {
+    let points = standard_points();
+    depth_sweep_spec_batched(
+        &SweepSpec {
+            core,
+            profiles,
+            params,
+            structures: &StructureSet::alpha_21264(),
+            overhead: Fo4::new(1.8),
+            points: &points,
+            observed: false,
+        },
+        fo4depth_exec::global(),
+        points.len(),
+    )
+}
+
+/// The one dispatch point every batched lane-group goes through — shared by
+/// [`depth_sweep_arenas_batched`] and the cache-granular
+/// [`run_cell_group`](crate::cells::run_cell_group), mirroring how
+/// [`run_grid_cell`] is the single scalar dispatch point.
+pub(crate) fn run_grid_group(
+    core: CoreKind,
+    observed: bool,
+    configs: &[&CoreConfig],
+    arena: &Arc<TraceArena>,
+    params: &SimParams,
+) -> Vec<BenchOutcome> {
+    match core {
+        CoreKind::InOrder => run_inorder_batched(configs, arena, params, observed),
+        CoreKind::OutOfOrder => run_ooo_batched(configs, arena, params, observed),
     }
 }
 

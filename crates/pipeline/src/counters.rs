@@ -214,10 +214,18 @@ impl Counters {
     /// Records one cycle: `issued` slots were useful, the remainder is
     /// charged to `stall` (which must be present when any slot was lost).
     pub fn record_cycle(&mut self, issued: u32, stall: Option<StallCause>) {
+        self.record_cycles(issued, stall, 1);
+    }
+
+    /// Records `n` identical cycles in one call, bit-identical to calling
+    /// [`record_cycle`](Self::record_cycle) `n` times with the same
+    /// arguments. Idle-cycle coalescing replays a skipped stretch — whose
+    /// per-cycle attribution is constant by construction — through this.
+    pub fn record_cycles(&mut self, issued: u32, stall: Option<StallCause>, n: u64) {
         debug_assert!(issued <= self.width, "issued beyond the slot width");
-        self.cycles += 1;
-        self.useful_slots += u64::from(issued);
-        let lost = u64::from(self.width - issued);
+        self.cycles += n;
+        self.useful_slots += u64::from(issued) * n;
+        let lost = u64::from(self.width - issued) * n;
         if lost > 0 {
             let cause = stall.expect("lost slots need a cause");
             self.stall_slots[cause.index()] += lost;

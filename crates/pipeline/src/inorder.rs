@@ -14,16 +14,17 @@
 //! state by the queue depth anyway).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use fo4depth_isa::{Instruction, OpClass};
-use fo4depth_uarch::branch::{BranchPredictor, Btb, BtbStats};
+use fo4depth_uarch::branch::BtbStats;
 use fo4depth_uarch::cache::Hierarchy;
 use fo4depth_uarch::fu::{FuClass, FuPool};
 use fo4depth_uarch::observe::{Observer, Structure};
 
+use crate::batch::{FetchPlan, FetchResolver};
 use crate::config::CoreConfig;
 use crate::counters::{Counters, StallCause, ValueKind};
-use crate::ooo::build_predictor;
 use crate::result::SimResult;
 
 /// Cycles without an issue after which the core declares itself wedged.
@@ -84,8 +85,12 @@ pub struct InOrderCore<I: Iterator<Item = Instruction>> {
 
     fu: FuPool,
     hierarchy: Hierarchy,
-    predictor: Box<dyn BranchPredictor + Send>,
-    btb: Btb,
+    /// Fetch-stage branch resolution: live predictor+BTB (the scalar
+    /// reference) or a shared [`FetchPlan`] replay (batched lanes).
+    resolver: FetchResolver,
+    /// When set, stretches of provably idle cycles are coalesced into one
+    /// clock jump. Off by default; the scalar reference steps every cycle.
+    coalesce_idle: bool,
 
     fetch_halted: bool,
     fetch_resume_at: u64,
@@ -112,12 +117,12 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         if let Err(e) = cfg.validate() {
             panic!("invalid core config: {e}");
         }
-        let predictor = build_predictor(&cfg);
+        let resolver = FetchResolver::live(&cfg);
         Self {
             fu: FuPool::new(cfg.fu),
             hierarchy: Hierarchy::new(cfg.hierarchy),
-            predictor,
-            btb: Btb::new(cfg.btb_entries),
+            resolver,
+            coalesce_idle: false,
             queue_capacity: 32,
             cfg,
             trace,
@@ -146,7 +151,7 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         let width = self.cfg.dispatch_width.min(self.fu.budget().total);
         self.observation = Some(Box::new(Observation {
             counters: Counters::new(width),
-            btb_base: self.btb.stats(),
+            btb_base: self.resolver.btb_stats(),
         }));
     }
 
@@ -162,7 +167,7 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
     pub fn take_counters(&mut self) -> Option<Counters> {
         self.observation.take().map(|o| {
             let mut c = o.counters;
-            c.btb = self.btb.stats().since(&o.btb_base);
+            c.btb = self.resolver.btb_stats().since(&o.btb_base);
             c
         })
     }
@@ -171,6 +176,32 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
     #[must_use]
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Replays `plan` instead of resolving branches through a live
+    /// predictor+BTB; see [`OutOfOrderCore::use_fetch_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fetch has already started or the plan was built under a
+    /// different predictor/BTB geometry.
+    ///
+    /// [`OutOfOrderCore::use_fetch_plan`]: crate::ooo::OutOfOrderCore::use_fetch_plan
+    pub fn use_fetch_plan(&mut self, plan: Arc<FetchPlan>) {
+        assert_eq!(self.next_seq, 0, "fetch plan installed mid-run");
+        assert!(
+            plan.matches(&self.cfg),
+            "fetch plan geometry does not match the core config"
+        );
+        self.resolver = FetchResolver::planned(plan);
+    }
+
+    /// Enables (or disables) idle-cycle coalescing; see
+    /// [`OutOfOrderCore::set_idle_coalescing`].
+    ///
+    /// [`OutOfOrderCore::set_idle_coalescing`]: crate::ooo::OutOfOrderCore::set_idle_coalescing
+    pub fn set_idle_coalescing(&mut self, on: bool) {
+        self.coalesce_idle = on;
     }
 
     /// The in-flight entry for producer `seq`, if it is still live in the
@@ -188,6 +219,16 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
         for a in addrs {
             let _ = self.hierarchy.access(a);
         }
+    }
+
+    /// Replaces the data hierarchy's cache tag state and statistics with
+    /// `warm`'s, keeping this core's clock-scaled latencies. The batched
+    /// driver prewarms one template hierarchy per lane group and
+    /// replicates it here — bit-identical to each lane replaying the
+    /// prewarm sequence itself, since tag state only depends on the
+    /// access order.
+    pub fn adopt_warm_hierarchy(&mut self, warm: &Hierarchy) {
+        self.hierarchy.adopt_state(warm);
     }
 
     /// Cumulative counters since construction.
@@ -215,10 +256,89 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
     pub fn run(&mut self, instructions: u64) -> SimResult {
         let start = self.snapshot();
         let target = self.issued_count + instructions;
-        while self.issued_count < target {
-            self.cycle();
+        if self.coalesce_idle {
+            while self.issued_count < target {
+                if let Some(t) = self.idle_skip_target() {
+                    self.skip_idle_to(t);
+                } else {
+                    self.cycle();
+                }
+            }
+        } else {
+            while self.issued_count < target {
+                self.cycle();
+            }
         }
         self.snapshot().since(&start)
+    }
+
+    /// If the cycle at `now` would be fully idle — no issue, no fetch —
+    /// returns the earliest future cycle at which either stage could act.
+    /// Conservative: the jump may land on another idle cycle (skipped in
+    /// turn), never past an active one.
+    fn idle_skip_target(&self) -> Option<u64> {
+        let now = self.now;
+        let mut t = u64::MAX;
+        if let Some(head) = self.queue.front() {
+            if head.avail_at <= now {
+                // Ready head ⇒ issue acts (the budget's first take cannot
+                // fail on a validated config without wedging the core
+                // anyway; treat it as active to stay conservative).
+                let ready_at = head
+                    .producers
+                    .iter()
+                    .flatten()
+                    .filter_map(|&p| self.value_entry(p))
+                    .map(|(t, _)| t)
+                    .max()
+                    .unwrap_or(0);
+                if ready_at <= now {
+                    return None;
+                }
+                t = t.min(ready_at);
+            } else {
+                t = t.min(head.avail_at);
+            }
+        }
+        let queue_open = !self.fetch_halted && self.queue.len() < self.queue_capacity;
+        if queue_open {
+            if now >= self.fetch_resume_at {
+                return None;
+            }
+            t = t.min(self.fetch_resume_at);
+        }
+        // `recover_until` only flips the stall-cause classification; end
+        // the stretch there so bulk-recorded attribution stays constant.
+        if self.recover_until > now {
+            t = t.min(self.recover_until);
+        }
+        (t != u64::MAX).then_some(t)
+    }
+
+    /// Jumps the clock to `target`, bulk-recording the skipped cycles'
+    /// observation exactly as per-cycle stepping would have (both the queue
+    /// occupancy and the stall cause are constant across an idle stretch).
+    fn skip_idle_to(&mut self, target: u64) {
+        debug_assert!(target > self.now);
+        if self.observation.is_some() {
+            let n = target - self.now;
+            let occ = self.queue.len();
+            let stall = match self.queue.front() {
+                Some(head) if head.avail_at <= self.now => self.head_wait_cause(),
+                _ => self.frontend_cause(),
+            };
+            if let Some(o) = self.observation.as_deref_mut() {
+                o.counters.window_occupancy.record_n(occ, n);
+                o.counters.record_cycles(0, Some(stall), n);
+            }
+        }
+        self.now = target;
+        assert!(
+            self.now - self.last_issue_cycle < DEADLOCK_LIMIT,
+            "in-order core wedged at cycle {} (queue={})",
+            self.now,
+            self.queue.len()
+        );
     }
 
     fn cycle(&mut self) {
@@ -399,25 +519,7 @@ impl<I: Iterator<Item = Instruction>> InOrderCore<I> {
             let mut end_group = false;
             if let Some(branch) = inst.branch {
                 self.branches += 1;
-                let misp = match inst.op_class() {
-                    OpClass::Branch => {
-                        let pred = self.predictor.predict(inst.pc);
-                        self.predictor.update(inst.pc, branch.taken);
-                        let target_ok = if branch.taken {
-                            let hit = self.btb.lookup(inst.pc) == Some(branch.target);
-                            self.btb.update(inst.pc, branch.target);
-                            hit
-                        } else {
-                            true
-                        };
-                        pred != branch.taken || !target_ok
-                    }
-                    _ => {
-                        let hit = self.btb.lookup(inst.pc) == Some(branch.target);
-                        self.btb.update(inst.pc, branch.target);
-                        !hit
-                    }
-                };
+                let misp = self.resolver.resolve(seq, &inst);
                 if misp {
                     self.mispredicts += 1;
                     mispredicted = true;

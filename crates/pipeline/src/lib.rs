@@ -34,12 +34,14 @@
 //! assert!(result.ipc() > 0.1);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod counters;
 pub mod inorder;
 pub mod ooo;
 pub mod result;
 
+pub use batch::FetchPlan;
 pub use config::{CoreConfig, PipelineDepths, PredictorConfig, WindowConfig};
 pub use counters::{Counters, StallCause};
 pub use inorder::InOrderCore;

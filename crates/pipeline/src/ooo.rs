@@ -23,10 +23,10 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use std::sync::Arc;
+
 use fo4depth_isa::{Instruction, OpClass};
-use fo4depth_uarch::branch::{
-    Bimodal, BranchPredictor, Btb, BtbStats, Gshare, Perceptron, Tournament,
-};
+use fo4depth_uarch::branch::{Bimodal, BranchPredictor, BtbStats, Gshare, Perceptron, Tournament};
 use fo4depth_uarch::cache::Hierarchy;
 use fo4depth_uarch::fu::{FuClass, FuPool};
 use fo4depth_uarch::lsq::{LoadSource, LoadStoreQueue};
@@ -37,6 +37,7 @@ use fo4depth_uarch::segmented::SegmentedWindow;
 use fo4depth_uarch::speculative::SpeculativeWindow;
 use fo4depth_uarch::window::{ConventionalWindow, WindowEntry, WindowModel};
 
+use crate::batch::{FetchPlan, FetchResolver};
 use crate::config::{CoreConfig, WindowConfig};
 use crate::counters::{Counters, StallCause, ValueKind};
 use crate::result::SimResult;
@@ -89,7 +90,7 @@ struct Inflight {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct WaitState {
+pub struct WaitState {
     pending: u32,
     acc: u64,
     /// Kind of the producer currently bounding `acc` (observability only;
@@ -130,26 +131,229 @@ struct Pending {
     avail_at: u64,
 }
 
+/// Storage for the core's three sequence-keyed wait tables (dispatch-time
+/// wait state, issue-wait attribution, store-forwarding waiters). The
+/// scalar reference uses [`MapTables`] — the seed implementation's hash
+/// maps, kept byte-for-byte so the oracle stays exactly what the repo has
+/// always run. The batched engine uses [`RingTables`], which exploit the
+/// in-flight invariant (all live keys sit within one ROB of each other) to
+/// replace hashing with direct ring indexing. Both containers implement
+/// identical key/value semantics, so the choice is invisible to outcomes —
+/// the differential harness in `tests/batched_equivalence.rs` enforces it.
+pub trait WaitTables: std::fmt::Debug + Send {
+    /// Whether this engine variant takes the tuned structure paths
+    /// (ring-indexed ROB completion, memoized window probes). `false` keeps
+    /// every hot-path branch exactly as the seed reference.
+    const TUNED: bool;
+
+    /// Builds tables for a core whose in-flight window is `rob_capacity`.
+    fn with_capacity(rob_capacity: usize) -> Self;
+
+    /// Dispatch-time wait state of in-flight instruction `seq`.
+    fn consumer(&self, seq: u64) -> Option<&WaitState>;
+    /// Mutable [`WaitTables::consumer`].
+    fn consumer_mut(&mut self, seq: u64) -> Option<&mut WaitState>;
+    /// Records the wait state of newly dispatched `seq`.
+    fn insert_consumer(&mut self, seq: u64, state: WaitState);
+    /// Drops `seq`'s wait state (its last producer has scheduled).
+    fn remove_consumer(&mut self, seq: u64);
+
+    /// What kind of producer `seq` is waiting on (attribution only).
+    fn issue_wait(&self, seq: u64) -> Option<ValueKind>;
+    /// Records what `seq` waits on from dispatch (or last wake) onward.
+    fn insert_issue_wait(&mut self, seq: u64, kind: ValueKind);
+    /// Clears `seq`'s issue-wait attribution (it has issued).
+    fn remove_issue_wait(&mut self, seq: u64);
+
+    /// Gates load `seq` on the data of in-flight store `store_seq`.
+    fn push_store_waiter(&mut self, store_seq: u64, seq: u64);
+    /// Takes the loads gated on `store_seq` (empty when none). The buffer
+    /// is handed back through [`WaitTables::recycle_store_waiters`] so ring
+    /// implementations can reuse the allocation.
+    fn take_store_waiters(&mut self, store_seq: u64) -> Vec<u64>;
+    /// Returns a drained waiter buffer for reuse (no-op for maps).
+    fn recycle_store_waiters(&mut self, store_seq: u64, buf: Vec<u64>);
+}
+
+/// The seed reference's wait tables: three `std` hash maps, untouched.
+#[derive(Debug, Default)]
+pub struct MapTables {
+    consumers: HashMap<u64, WaitState>,
+    issue_wait: HashMap<u64, ValueKind>,
+    store_waiters: HashMap<u64, Vec<u64>>,
+}
+
+impl WaitTables for MapTables {
+    const TUNED: bool = false;
+
+    fn with_capacity(_rob_capacity: usize) -> Self {
+        Self::default()
+    }
+
+    fn consumer(&self, seq: u64) -> Option<&WaitState> {
+        self.consumers.get(&seq)
+    }
+
+    fn consumer_mut(&mut self, seq: u64) -> Option<&mut WaitState> {
+        self.consumers.get_mut(&seq)
+    }
+
+    fn insert_consumer(&mut self, seq: u64, state: WaitState) {
+        self.consumers.insert(seq, state);
+    }
+
+    fn remove_consumer(&mut self, seq: u64) {
+        self.consumers.remove(&seq);
+    }
+
+    fn issue_wait(&self, seq: u64) -> Option<ValueKind> {
+        self.issue_wait.get(&seq).copied()
+    }
+
+    fn insert_issue_wait(&mut self, seq: u64, kind: ValueKind) {
+        self.issue_wait.insert(seq, kind);
+    }
+
+    fn remove_issue_wait(&mut self, seq: u64) {
+        self.issue_wait.remove(&seq);
+    }
+
+    fn push_store_waiter(&mut self, store_seq: u64, seq: u64) {
+        self.store_waiters.entry(store_seq).or_default().push(seq);
+    }
+
+    fn take_store_waiters(&mut self, store_seq: u64) -> Vec<u64> {
+        self.store_waiters.remove(&store_seq).unwrap_or_default()
+    }
+
+    fn recycle_store_waiters(&mut self, _store_seq: u64, _buf: Vec<u64>) {}
+}
+
+/// The batched engine's wait tables: ring-indexed by `seq % rob_capacity`.
+/// Sound because every key is an in-flight sequence number and the ROB
+/// bounds in-flight instructions to one capacity's worth of contiguous
+/// seqs — the same invariant the core's `inflight` ring already relies on.
+/// Each table entry is removed by its instruction's own lifecycle (issue,
+/// wake, store execute) before the ring can wrap onto it.
+#[derive(Debug)]
+pub struct RingTables {
+    consumers: Vec<Option<WaitState>>,
+    issue_wait: Vec<Option<ValueKind>>,
+    store_waiters: Vec<Vec<u64>>,
+}
+
+impl RingTables {
+    #[inline]
+    fn slot(&self, seq: u64) -> usize {
+        (seq as usize) % self.consumers.len()
+    }
+}
+
+impl WaitTables for RingTables {
+    const TUNED: bool = true;
+
+    fn with_capacity(rob_capacity: usize) -> Self {
+        assert!(rob_capacity > 0);
+        Self {
+            consumers: vec![None; rob_capacity],
+            issue_wait: vec![None; rob_capacity],
+            store_waiters: vec![Vec::new(); rob_capacity],
+        }
+    }
+
+    fn consumer(&self, seq: u64) -> Option<&WaitState> {
+        self.consumers[self.slot(seq)].as_ref()
+    }
+
+    fn consumer_mut(&mut self, seq: u64) -> Option<&mut WaitState> {
+        let i = self.slot(seq);
+        self.consumers[i].as_mut()
+    }
+
+    fn insert_consumer(&mut self, seq: u64, state: WaitState) {
+        let i = self.slot(seq);
+        debug_assert!(self.consumers[i].is_none(), "wait-table ring collision");
+        self.consumers[i] = Some(state);
+    }
+
+    fn remove_consumer(&mut self, seq: u64) {
+        let i = self.slot(seq);
+        self.consumers[i] = None;
+    }
+
+    fn issue_wait(&self, seq: u64) -> Option<ValueKind> {
+        self.issue_wait[(seq as usize) % self.issue_wait.len()]
+    }
+
+    fn insert_issue_wait(&mut self, seq: u64, kind: ValueKind) {
+        let i = (seq as usize) % self.issue_wait.len();
+        self.issue_wait[i] = Some(kind);
+    }
+
+    fn remove_issue_wait(&mut self, seq: u64) {
+        let i = (seq as usize) % self.issue_wait.len();
+        self.issue_wait[i] = None;
+    }
+
+    fn push_store_waiter(&mut self, store_seq: u64, seq: u64) {
+        let i = (store_seq as usize) % self.store_waiters.len();
+        self.store_waiters[i].push(seq);
+    }
+
+    fn take_store_waiters(&mut self, store_seq: u64) -> Vec<u64> {
+        let i = (store_seq as usize) % self.store_waiters.len();
+        std::mem::take(&mut self.store_waiters[i])
+    }
+
+    fn recycle_store_waiters(&mut self, store_seq: u64, mut buf: Vec<u64>) {
+        let i = (store_seq as usize) % self.store_waiters.len();
+        if self.store_waiters[i].capacity() == 0 {
+            buf.clear();
+            self.store_waiters[i] = buf;
+        }
+    }
+}
+
 /// The out-of-order core.
 ///
 /// Generic over the trace iterator so synthetic generators, recorded
-/// traces, and test vectors all drive the same model.
+/// traces, and test vectors all drive the same model, and over the window
+/// model. The default window parameter is the boxed trait object the
+/// scalar reference uses (any [`WindowConfig`] at runtime); the batched
+/// engine monomorphizes over [`ConventionalWindow`] instead
+/// ([`OutOfOrderCore::new_conventional`]), which devirtualizes and inlines
+/// the per-cycle window probes — same generic code, same cycle-for-cycle
+/// behaviour, measurably cheaper hot loop.
 #[derive(Debug)]
-pub struct OutOfOrderCore<I: Iterator<Item = Instruction>> {
+pub struct OutOfOrderCore<
+    I: Iterator<Item = Instruction>,
+    W: WindowModel = Box<dyn WindowModel + Send>,
+    T: WaitTables = MapTables,
+> {
     cfg: CoreConfig,
     trace: I,
     now: u64,
     next_seq: u64,
     committed: u64,
 
-    window: Box<dyn WindowModel + Send>,
+    window: W,
     rob: ReorderBuffer,
     rename: RenameMap,
     lsq: LoadStoreQueue,
     fu: FuPool,
     hierarchy: Hierarchy,
-    predictor: Box<dyn BranchPredictor + Send>,
-    btb: Btb,
+    /// Fetch-stage branch resolution: live predictor+BTB (the scalar
+    /// reference) or a shared [`FetchPlan`] replay (batched lanes).
+    resolver: FetchResolver,
+    /// When set, stretches of provably idle cycles are coalesced into one
+    /// clock jump (the batched path's speed lever). Off by default; the
+    /// scalar reference steps every cycle.
+    coalesce_idle: bool,
+    /// Memoized [`WindowModel::next_visible_at`], valid until the next
+    /// simulated cycle mutates the window (`None` = recompute). An idle
+    /// stretch probes the window repeatedly without changing it; this keeps
+    /// those probes O(1) instead of O(entries).
+    next_visible_cache: std::cell::Cell<Option<u64>>,
 
     pending: VecDeque<Pending>,
     /// In-flight instruction metadata, ring-indexed by
@@ -168,14 +372,11 @@ pub struct OutOfOrderCore<I: Iterator<Item = Instruction>> {
     /// register number — the wakeup table. Inner vectors keep their
     /// allocation across wakes.
     reg_waiters: Vec<Vec<u64>>,
-    /// Consumers gated on a store's data (store-forwarding waits; rare
-    /// enough that a map beats a flat table keyed on store seq).
-    store_waiters: HashMap<u64, Vec<u64>>,
-    consumers: HashMap<u64, WaitState>,
-    /// Latency kind of the producer bounding each window entry's ready
-    /// time (kept unconditionally — cheap, and keeping it independent of
-    /// observation guarantees observation cannot perturb the simulation).
-    issue_wait: HashMap<u64, ValueKind>,
+    /// The sequence-keyed wait tables: dispatch-time wait state
+    /// (`consumer`), issue-wait attribution (kept unconditionally — cheap,
+    /// and keeping it independent of observation guarantees observation
+    /// cannot perturb the simulation), and store-forwarding waiters.
+    tables: T,
 
     fetch_halted: bool,
     fetch_resume_at: u64,
@@ -243,7 +444,37 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 1,
             ),
         };
-        let predictor = build_predictor(&cfg);
+        Self::with_window(cfg, trace, window, wakeup_loop)
+    }
+}
+
+impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I, ConventionalWindow, RingTables> {
+    /// Builds a core monomorphized over the conventional window — the
+    /// batched engine's constructor. Cycle-for-cycle identical to
+    /// [`OutOfOrderCore::new`] on the same (conventional) configuration;
+    /// only the dispatch mechanism differs (static instead of virtual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`] or does
+    /// not use [`WindowConfig::Conventional`].
+    #[must_use]
+    pub fn new_conventional(cfg: CoreConfig, trace: I) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid core config: {e}");
+        }
+        let WindowConfig::Conventional { capacity, wakeup } = &cfg.window else {
+            panic!("new_conventional needs a conventional window config");
+        };
+        let (window, wakeup_loop) = (ConventionalWindow::new(*capacity, 1), *wakeup);
+        Self::with_window(cfg, trace, window, wakeup_loop)
+    }
+}
+
+impl<I: Iterator<Item = Instruction>, W: WindowModel, T: WaitTables> OutOfOrderCore<I, W, T> {
+    fn with_window(cfg: CoreConfig, trace: I, window: W, wakeup_loop: u64) -> Self {
+        let resolver = FetchResolver::live(&cfg);
+        let tables = T::with_capacity(cfg.rob_capacity);
         let phys = cfg.phys_regs as usize;
         Self {
             rob: ReorderBuffer::new(cfg.rob_capacity),
@@ -251,8 +482,9 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             lsq: LoadStoreQueue::new(cfg.load_queue, cfg.store_queue),
             fu: FuPool::new(cfg.fu),
             hierarchy: Hierarchy::new(cfg.hierarchy),
-            predictor,
-            btb: Btb::new(cfg.btb_entries),
+            resolver,
+            coalesce_idle: false,
+            next_visible_cache: std::cell::Cell::new(None),
             window,
             wakeup_loop,
             outstanding_misses: BinaryHeap::new(),
@@ -268,9 +500,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             next_seq: 0,
             committed: 0,
             pending: VecDeque::new(),
-            store_waiters: HashMap::new(),
-            consumers: HashMap::new(),
-            issue_wait: HashMap::new(),
+            tables,
             fetch_halted: false,
             fetch_resume_at: 0,
             recover_until: 0,
@@ -289,6 +519,32 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         &self.cfg
     }
 
+    /// Replays `plan` instead of resolving branches through a live
+    /// predictor+BTB. Batched lanes share one plan per (trace × geometry);
+    /// results are bit-identical to the live path (the plan *is* the live
+    /// stream, precomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fetch has already started or the plan was built under a
+    /// different predictor/BTB geometry.
+    pub fn use_fetch_plan(&mut self, plan: Arc<FetchPlan>) {
+        assert_eq!(self.next_seq, 0, "fetch plan installed mid-run");
+        assert!(
+            plan.matches(&self.cfg),
+            "fetch plan geometry does not match the core config"
+        );
+        self.resolver = FetchResolver::planned(plan);
+    }
+
+    /// Enables (or disables) idle-cycle coalescing: stretches of cycles in
+    /// which no stage can act are jumped in one step, with observation
+    /// counters bulk-replayed so outcomes stay bit-identical. Off by
+    /// default — the scalar reference steps every cycle.
+    pub fn set_idle_coalescing(&mut self, on: bool) {
+        self.coalesce_idle = on;
+    }
+
     /// Touches `addrs` through the data hierarchy before timing starts
     /// (workload pre-warming; the counters these touches generate land in
     /// the warm-up interval and are excluded by interval subtraction).
@@ -296,6 +552,16 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         for a in addrs {
             let _ = self.hierarchy.access(a);
         }
+    }
+
+    /// Replaces the data hierarchy's cache tag state and statistics with
+    /// `warm`'s, keeping this core's clock-scaled latencies. The batched
+    /// driver prewarms one template hierarchy per lane group and
+    /// replicates it here — bit-identical to each lane replaying the
+    /// prewarm sequence itself, since tag state only depends on the
+    /// access order.
+    pub fn adopt_warm_hierarchy(&mut self, warm: &Hierarchy) {
+        self.hierarchy.adopt_state(warm);
     }
 
     /// Cumulative counters since construction.
@@ -320,7 +586,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     pub fn enable_counters(&mut self) {
         self.observation = Some(Box::new(Observation {
             counters: Counters::new(self.fu.budget().total),
-            btb_base: self.btb.stats(),
+            btb_base: self.resolver.btb_stats(),
         }));
     }
 
@@ -333,7 +599,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     /// Stops accounting and returns the block (None if never enabled).
     pub fn take_counters(&mut self) -> Option<Counters> {
         self.observation.take().map(|mut o| {
-            o.counters.btb = self.btb.stats().since(&o.btb_base);
+            o.counters.btb = self.resolver.btb_stats().since(&o.btb_base);
             o.counters
         })
     }
@@ -349,13 +615,185 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     pub fn run(&mut self, instructions: u64) -> SimResult {
         let start = self.snapshot();
         let target = self.committed + instructions;
-        while self.committed < target {
-            self.cycle();
+        if self.coalesce_idle {
+            // The skip probe is only consulted after a cycle in which no
+            // stage acted (or after a jump, whose conservative bound can
+            // land on another idle cycle). Active cycles skip the probe
+            // entirely; since idle stretches are preceded by an idle cycle
+            // and stepping one idle cycle records exactly what the bulk
+            // replay would, the gate changes cost, never outcomes.
+            let mut probe = true;
+            while self.committed < target {
+                if probe {
+                    if let Some(t) = self.idle_skip_target() {
+                        self.skip_idle_to(t);
+                        continue;
+                    }
+                }
+                // A fully idle cycle leaves all four of these untouched;
+                // any stage acting perturbs at least one (commit bumps
+                // `committed`, fetch bumps `next_seq`, dispatch grows the
+                // ROB net of commits, select shrinks the window net of
+                // dispatches).
+                let committed0 = self.committed;
+                let seq0 = self.next_seq;
+                let rob0 = self.rob.len();
+                let win0 = self.window.len();
+                self.cycle();
+                probe = self.committed == committed0
+                    && self.next_seq == seq0
+                    && self.rob.len() == rob0
+                    && self.window.len() == win0;
+            }
+        } else {
+            while self.committed < target {
+                self.cycle();
+            }
         }
         self.snapshot().since(&start)
     }
 
+    /// If the cycle at `now` would be fully idle — no commit, no select, no
+    /// dispatch, no fetch — returns the earliest future cycle at which any
+    /// stage could act. The bound is conservative: jumping to it can land
+    /// on another idle cycle (which is then skipped in turn), but can never
+    /// land *past* an active one, so coalescing is invisible to outcomes.
+    fn idle_skip_target(&self) -> Option<u64> {
+        let now = self.now;
+        // Commit: the ROB head completes at `head` (None = empty ROB).
+        let head = self.rob.head_complete_at();
+        if head.is_some_and(|c| c <= now) {
+            return None;
+        }
+        // Dispatch: acts when the queue front has cleared the front end and
+        // every resource has space.
+        if let Some(front) = self.pending.front() {
+            if front.avail_at <= now && self.dispatch_block_cause().is_none() {
+                return None;
+            }
+        }
+        // Fetch: acts when not halted, past any re-steer bubble, and the
+        // queue has room.
+        let queue_open =
+            !self.fetch_halted && self.pending.len() < (self.cfg.fetch_width as usize) * 8;
+        if queue_open && now >= self.fetch_resume_at {
+            return None;
+        }
+        // Select: `u64::MAX` means no entry becomes visible without a
+        // wakeup, and wakeups only happen on execute — impossible during an
+        // idle stretch. A window model that cannot answer disables
+        // coalescing entirely. Checked last: it is the only O(entries)
+        // probe, and on active cycles one of the O(1) stages above almost
+        // always answers first.
+        let visible = if T::TUNED {
+            // Valid between simulated cycles: only `cycle` mutates the
+            // window, and the tuned engine clears the memo there.
+            match self.next_visible_cache.get() {
+                Some(v) => v,
+                None => {
+                    let v = self.window.next_visible_at()?;
+                    self.next_visible_cache.set(Some(v));
+                    v
+                }
+            }
+        } else {
+            self.window.next_visible_at()?
+        };
+        if visible <= now {
+            return None;
+        }
+        // Fully idle at `now`: the stages wake, at the earliest, at the
+        // minimum of their next event times. `recover_until` is not an
+        // event by itself but flips the stall-cause classification, so end
+        // the stretch there to keep bulk-recorded attribution constant.
+        let mut t = head.unwrap_or(u64::MAX).min(visible);
+        if let Some(front) = self.pending.front() {
+            if front.avail_at > now {
+                t = t.min(front.avail_at);
+            }
+        }
+        if queue_open {
+            t = t.min(self.fetch_resume_at);
+        }
+        if self.recover_until > now {
+            t = t.min(self.recover_until);
+        }
+        (t != u64::MAX).then_some(t)
+    }
+
+    /// Jumps the clock to `target`, bulk-recording the skipped cycles'
+    /// observation exactly as per-cycle stepping would have: the stall
+    /// cause, occupancies, and any dispatch-blocked attribution are all
+    /// constant across an idle stretch by construction.
+    fn skip_idle_to(&mut self, target: u64) {
+        debug_assert!(target > self.now);
+        if self.observation.is_some() {
+            let n = target - self.now;
+            let stall = self.issue_stall_cause();
+            let window = self.window.len();
+            let rob = self.rob.len();
+            let (loads, stores) = self.lsq.occupancy();
+            let blocked = match self.pending.front() {
+                Some(front) if front.avail_at <= self.now => self.dispatch_block_cause(),
+                _ => None,
+            };
+            if let Some(o) = self.observation.as_deref_mut() {
+                o.counters.window_occupancy.record_n(window, n);
+                o.counters.rob_occupancy.record_n(rob, n);
+                o.counters.lsq_occupancy.record_n(loads + stores, n);
+                o.counters.record_cycles(0, Some(stall), n);
+                match blocked {
+                    Some(StallCause::RobFull) => o.counters.dispatch_blocked_rob += n,
+                    Some(StallCause::WindowFull) => o.counters.dispatch_blocked_window += n,
+                    Some(StallCause::LsqFull) => o.counters.dispatch_blocked_lsq += n,
+                    Some(StallCause::RenameFull) => o.counters.dispatch_blocked_rename += n,
+                    _ => {}
+                }
+            }
+        }
+        self.now = target;
+        assert!(
+            self.now - self.last_commit_cycle < DEADLOCK_LIMIT,
+            "core wedged at cycle {}: rob={} window={} pending={} halted={}",
+            self.now,
+            self.rob.len(),
+            self.window.len(),
+            self.pending.len(),
+            self.fetch_halted,
+        );
+    }
+
+    /// The first resource dispatch would block on this cycle, in dispatch's
+    /// own check order, or `None` when the queue front could be placed.
+    fn dispatch_block_cause(&self) -> Option<StallCause> {
+        let front = self.pending.front()?;
+        if !self.rob.has_space() {
+            return Some(StallCause::RobFull);
+        }
+        if !self.window.has_space() {
+            return Some(StallCause::WindowFull);
+        }
+        let op = front.inst.op_class();
+        if op.is_memory() {
+            let ok = if op == OpClass::Load {
+                self.lsq.has_load_space()
+            } else {
+                self.lsq.has_store_space()
+            };
+            if !ok {
+                return Some(StallCause::LsqFull);
+            }
+        }
+        if self.rename.free_count() == 0 {
+            return Some(StallCause::RenameFull);
+        }
+        None
+    }
+
     fn cycle(&mut self) {
+        if T::TUNED {
+            self.next_visible_cache.set(None);
+        }
         self.commit();
         self.issue();
         self.dispatch();
@@ -394,7 +832,11 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             self.committed += 1;
         }
         let last = done.last().expect("nonempty").seq;
-        self.lsq.retire_through(last);
+        if T::TUNED {
+            self.lsq.retire_through_fast(last);
+        } else {
+            self.lsq.retire_through(last);
+        }
         self.committed_scratch = done;
     }
 
@@ -408,8 +850,13 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         }
         let mut selected = std::mem::take(&mut self.selected_scratch);
         selected.clear();
-        self.window
-            .select_into(self.now, &mut budget, &mut selected);
+        if T::TUNED {
+            self.window
+                .select_into_tuned(self.now, &mut budget, &mut selected);
+        } else {
+            self.window
+                .select_into(self.now, &mut budget, &mut selected);
+        }
         if self.observation.is_some() {
             let issued = selected.len() as u32;
             // Classification reads post-select window state: leftover
@@ -470,13 +917,12 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 // replay — all forms of the issue–wakeup loop.
                 return StallCause::WakeupWait;
             }
-            if let Some(state) = self.consumers.get(&oldest.seq) {
+            if let Some(state) = self.tables.consumer(oldest.seq) {
                 return state.kind.map_or(StallCause::DepChain, ValueKind::stall);
             }
             return self
-                .issue_wait
-                .get(&oldest.seq)
-                .copied()
+                .tables
+                .issue_wait(oldest.seq)
                 .map_or(StallCause::DepChain, ValueKind::stall);
         }
         // Window empty: the back end is starved. Blame dispatch resources
@@ -520,7 +966,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             .expect("issued unknown instruction");
         let exec = self.cfg.exec.of(info.op).max(1);
         let now = self.now;
-        self.issue_wait.remove(&seq);
+        self.tables.remove_issue_wait(seq);
 
         // Memory time on top of address generation. For loads, also note
         // which level of the hierarchy (or the forwarding path) served the
@@ -536,7 +982,12 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                         // architecturally visible (ready now). Data comes
                         // from the store queue one cycle after both the load
                         // has issued and the store data is up.
-                        let data_ready = self.lsq.store_data_ready(store_seq).unwrap_or(now);
+                        let data_ready = if T::TUNED {
+                            self.lsq.store_data_ready_fast(store_seq)
+                        } else {
+                            self.lsq.store_data_ready(store_seq)
+                        }
+                        .unwrap_or(now);
                         assert!(
                             data_ready != u64::MAX,
                             "load issued before forwarding store executed"
@@ -601,7 +1052,11 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         }
         if info.op == OpClass::Store {
             let data_ready = now + exec;
-            self.lsq.store_executed(seq, data_ready);
+            if T::TUNED {
+                self.lsq.store_executed_fast(seq, data_ready);
+            } else {
+                self.lsq.store_executed(seq, data_ready);
+            }
             // Store data forwards through the LSQ, not the bypass network:
             // no cluster adjustment.
             self.wake_store(seq, data_ready);
@@ -614,7 +1069,11 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             self.fetch_halted = false;
             self.recover_until = self.fetch_resume_at + self.cfg.depths.front_end();
         }
-        self.rob.complete(seq, complete);
+        if T::TUNED {
+            self.rob.complete_indexed(seq, complete);
+        } else {
+            self.rob.complete(seq, complete);
+        }
     }
 
     /// Effective latency of an L1 miss starting at `now`, accounting for
@@ -659,10 +1118,12 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     /// LSQ, not the bypass network, so it never pays the cross-cluster
     /// penalty (`producer_cluster = u8::MAX`).
     fn wake_store(&mut self, store_seq: u64, ready: u64) {
-        let Some(waiting) = self.store_waiters.remove(&store_seq) else {
+        let waiting = self.tables.take_store_waiters(store_seq);
+        if waiting.is_empty() {
             return;
-        };
+        }
         self.process_waiters(&waiting, ready, u8::MAX, ValueKind::StoreForward);
+        self.tables.recycle_store_waiters(store_seq, waiting);
     }
 
     fn process_waiters(
@@ -674,7 +1135,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
     ) {
         let penalty = self.cfg.cross_cluster_penalty;
         for &consumer in waiting {
-            let Some(state) = self.consumers.get_mut(&consumer) else {
+            let Some(state) = self.tables.consumer_mut(consumer) else {
                 continue;
             };
             let cross = penalty > 0
@@ -689,9 +1150,9 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
             if state.pending == 0 {
                 let acc = state.acc;
                 let blocking = state.kind;
-                self.consumers.remove(&consumer);
+                self.tables.remove_consumer(consumer);
                 if let Some(k) = blocking {
-                    self.issue_wait.insert(consumer, k);
+                    self.tables.insert_issue_wait(consumer, k);
                 }
                 self.window.set_ready(consumer, acc);
             }
@@ -795,7 +1256,11 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
         if op == OpClass::Load {
             let addr = inst.mem_addr.expect("load without address");
             self.lsq.insert_load(seq, addr).expect("load space checked");
-            let src = self.lsq.load_source(seq, addr);
+            let src = if T::TUNED {
+                self.lsq.load_source_fast(seq, addr)
+            } else {
+                self.lsq.load_source(seq, addr)
+            };
             if let LoadSource::Forward {
                 store_seq,
                 data_ready,
@@ -804,7 +1269,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
                 if data_ready == u64::MAX {
                     // Store not executed yet: gate the load on it.
                     state.pending += 1;
-                    self.store_waiters.entry(store_seq).or_default().push(seq);
+                    self.tables.push_store_waiter(store_seq, seq);
                 }
             }
             load_source = Some(src);
@@ -844,11 +1309,11 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
 
         let ready_at = if state.pending == 0 {
             if let Some(k) = state.kind {
-                self.issue_wait.insert(seq, k);
+                self.tables.insert_issue_wait(seq, k);
             }
             state.acc
         } else {
-            self.consumers.insert(seq, state);
+            self.tables.insert_consumer(seq, state);
             u64::MAX
         };
         self.window.insert(WindowEntry {
@@ -879,26 +1344,7 @@ impl<I: Iterator<Item = Instruction>> OutOfOrderCore<I> {
 
             if let Some(branch) = inst.branch {
                 self.branches += 1;
-                let misp = match inst.op_class() {
-                    OpClass::Branch => {
-                        let pred = self.predictor.predict(inst.pc);
-                        self.predictor.update(inst.pc, branch.taken);
-                        let target_ok = if branch.taken {
-                            let hit = self.btb.lookup(inst.pc) == Some(branch.target);
-                            self.btb.update(inst.pc, branch.target);
-                            hit
-                        } else {
-                            true
-                        };
-                        pred != branch.taken || !target_ok
-                    }
-                    _ => {
-                        // Jumps: always taken; only the target can miss.
-                        let hit = self.btb.lookup(inst.pc) == Some(branch.target);
-                        self.btb.update(inst.pc, branch.target);
-                        !hit
-                    }
-                };
+                let misp = self.resolver.resolve(seq, &inst);
                 if misp {
                     self.mispredicts += 1;
                     self.mispredicted_seq = Some(seq);

@@ -498,17 +498,76 @@ impl Engine {
         )
     }
 
-    /// Runs (or recalls) every cell of a sweep on the shared exec pool and
-    /// reassembles the [`DepthSweep`](fo4depth_study::sweep::DepthSweep).
-    /// Identical at any pool size, and bit-identical to the offline
-    /// `depth_sweep_*` path — both run cells through
-    /// [`CellSpec::run`].
+    /// Runs (or recalls) every cell of a sweep and reassembles the
+    /// [`DepthSweep`](fo4depth_study::sweep::DepthSweep).
+    ///
+    /// Warm cells come from the LRU (or read through from the persistent
+    /// tier); the cold remainder is grouped by benchmark and simulated
+    /// with the lane-parallel batched engine
+    /// ([`fo4depth_study::cells::run_cell_group`]) — one pass over each
+    /// benchmark's shared arena drives every cold clock point of that
+    /// benchmark. Batched and scalar fills are bit-identical (the
+    /// `tests/batched_equivalence.rs` harness pins this), so a sweep
+    /// freely mixes cells warmed by the scalar `/v1/run` path with cold
+    /// batched fills, and the result is byte-identical to the offline
+    /// `depth_sweep_*` path at any pool size.
+    ///
+    /// Single-flight coalescing of *identical* requests still happens at
+    /// the response tier; two *distinct* concurrent requests overlapping
+    /// on a cold cell may both simulate it (the install is idempotent) —
+    /// a deliberate trade for the batched fill's shared-arena pass.
     fn sweep(&self, req: &SweepRequest, observed: bool) -> fo4depth_study::sweep::DepthSweep {
         let cells = req.cells(observed);
-        let outcomes = fo4depth_exec::global()
-            .map(&cells, |cell| self.outcome(cell))
+        // Probe pass: LRU first (counting the hit/miss), then the
+        // persistent tier, mirroring `outcome`'s tiering.
+        let mut outcomes: Vec<Option<Arc<BenchOutcome>>> = cells
+            .iter()
+            .map(|cell| {
+                let fingerprint = cell.fingerprint();
+                self.cells.get(fingerprint).or_else(|| {
+                    let loaded = self.store.as_ref()?.load(fingerprint).map(Arc::new)?;
+                    self.cells.insert(fingerprint, Arc::clone(&loaded));
+                    Some(loaded)
+                })
+            })
+            .collect();
+        // Group the cold cells by benchmark: cells of one benchmark share
+        // an arena and a fetch plan, so each group is one lane batch (and
+        // one pool task — results are positional, hence deterministic).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            match groups
+                .iter_mut()
+                .find(|g| cells[g[0]].profile.name == cell.profile.name)
+            {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        if !groups.is_empty() {
+            let filled = fo4depth_exec::global().map(&groups, |idxs| {
+                let group: Vec<CellSpec> = idxs.iter().map(|&i| cells[i].clone()).collect();
+                let arena = self.arena(&group[0].profile, &group[0].params);
+                fo4depth_study::cells::run_cell_group(&group, &self.structures, &arena)
+            });
+            for (idxs, outs) in groups.iter().zip(filled) {
+                for (&i, out) in idxs.iter().zip(outs) {
+                    let fingerprint = cells[i].fingerprint();
+                    let out = Arc::new(out);
+                    if let Some(store) = &self.store {
+                        store.put(fingerprint, &out);
+                    }
+                    self.cells.insert(fingerprint, Arc::clone(&out));
+                    outcomes[i] = Some(out);
+                }
+            }
+        }
+        let outcomes = outcomes
             .into_iter()
-            .map(|o| (*o).clone())
+            .map(|o| (*o.expect("every cell probed or batch-filled")).clone())
             .collect();
         assemble_sweep(
             req.core,

@@ -247,6 +247,16 @@ impl<V: Clone> Cache<V> {
         }
     }
 
+    /// Installs a completed value without counting a lookup — the batched
+    /// sweep path probes with [`Cache::get`] (which already counted the
+    /// miss), computes the cold cells as one lane batch, and installs the
+    /// results here. Idempotent: a racing resident entry keeps its value
+    /// and recency, exactly as in [`Inner::insert_ready`].
+    pub fn insert(&self, key: u64, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.insert_ready(key, value);
+    }
+
     /// Looks up `key` without computing, refreshing recency on a hit.
     /// Counts as a hit or miss.
     pub fn get(&self, key: u64) -> Option<V> {

@@ -211,6 +211,31 @@ impl Hierarchy {
         }
     }
 
+    /// Replaces this hierarchy's cache contents and statistics with
+    /// `other`'s, keeping this instance's configured latencies.
+    ///
+    /// Tag state is a pure function of the access sequence — it does not
+    /// depend on the clock-scaled latencies — so lanes of a batched sweep
+    /// that would each replay the same prewarm sequence can instead adopt
+    /// one prewarmed template, bit-identical to having replayed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hierarchies have different cache geometry (the
+    /// adopted state would be meaningless).
+    pub fn adopt_state(&mut self, other: &Self) {
+        assert!(
+            self.config.l1_capacity == other.config.l1_capacity
+                && self.config.l1_ways == other.config.l1_ways
+                && self.config.l2_capacity == other.config.l2_capacity
+                && self.config.l2_ways == other.config.l2_ways
+                && self.config.line == other.config.line,
+            "adopt_state across different cache geometries"
+        );
+        self.l1.clone_from(&other.l1);
+        self.l2.clone_from(&other.l2);
+    }
+
     /// L1 statistics (zeroes when caches are disabled).
     #[must_use]
     pub fn l1_stats(&self) -> CacheStats {

@@ -65,6 +65,13 @@ pub struct LoadStoreQueue {
     load_capacity: usize,
     store_capacity: usize,
     forwards: u64,
+    /// First live index of `stores` under the `*_fast` method family; the
+    /// reference family compacts eagerly and keeps this at zero. A queue
+    /// instance only ever sees one family, so the two representations
+    /// never mix.
+    store_head: usize,
+    /// First live index of `loads` under the `*_fast` family.
+    load_head: usize,
 }
 
 impl LoadStoreQueue {
@@ -83,19 +90,21 @@ impl LoadStoreQueue {
             load_capacity,
             store_capacity,
             forwards: 0,
+            store_head: 0,
+            load_head: 0,
         }
     }
 
     /// Whether a load can be accepted.
     #[must_use]
     pub fn has_load_space(&self) -> bool {
-        self.loads.len() < self.load_capacity
+        self.loads.len() - self.load_head < self.load_capacity
     }
 
     /// Whether a store can be accepted.
     #[must_use]
     pub fn has_store_space(&self) -> bool {
-        self.stores.len() < self.store_capacity
+        self.stores.len() - self.store_head < self.store_capacity
     }
 
     /// Records an in-flight store with the cycle its data will be ready.
@@ -176,6 +185,89 @@ impl LoadStoreQueue {
         self.loads.retain(|&l| l > seq);
     }
 
+    // ---- tuned method family -------------------------------------------
+    //
+    // Same key/value semantics as the methods above, exploited for the
+    // batched engine: entries arrive in ascending sequence order (dispatch
+    // order), so retirement is a head-index advance instead of a `retain`
+    // over the whole queue, point lookups are binary searches, and the
+    // forwarding scan walks backwards with an early exit (the first match
+    // from the rear *is* the youngest older store). The scalar reference
+    // keeps the straight-line seed implementations; the differential
+    // harness proves the two families byte-identical through whole sweeps.
+
+    /// [`LoadStoreQueue::load_source`] with a rear-to-front early-exit scan.
+    #[must_use]
+    pub fn load_source_fast(&mut self, seq: u64, addr: u64) -> LoadSource {
+        let word = addr >> 3;
+        let hit = self.stores[self.store_head..]
+            .iter()
+            .rev()
+            .find(|s| s.seq < seq && s.word_addr == word);
+        match hit {
+            Some(s) => {
+                self.forwards += 1;
+                LoadSource::Forward {
+                    store_seq: s.seq,
+                    data_ready: s.data_ready,
+                }
+            }
+            None => LoadSource::Cache,
+        }
+    }
+
+    /// Index of the live store numbered `seq`, by binary search (live
+    /// stores are sorted by sequence number).
+    fn store_index(&self, seq: u64) -> Option<usize> {
+        let live = &self.stores[self.store_head..];
+        let i = live.partition_point(|s| s.seq < seq);
+        (i < live.len() && live[i].seq == seq).then_some(self.store_head + i)
+    }
+
+    /// [`LoadStoreQueue::store_data_ready`] by binary search.
+    #[must_use]
+    pub fn store_data_ready_fast(&self, seq: u64) -> Option<u64> {
+        self.store_index(seq).map(|i| self.stores[i].data_ready)
+    }
+
+    /// [`LoadStoreQueue::store_executed`] by binary search.
+    pub fn store_executed_fast(&mut self, seq: u64, data_ready: u64) {
+        if let Some(i) = self.store_index(seq) {
+            let s = &mut self.stores[i];
+            s.data_ready = s.data_ready.min(data_ready);
+        }
+    }
+
+    /// [`LoadStoreQueue::retire_through`] as an amortized-O(1) head
+    /// advance, compacting only when a queue fully drains or the dead
+    /// prefix outgrows the live capacity.
+    pub fn retire_through_fast(&mut self, seq: u64) {
+        while self
+            .stores
+            .get(self.store_head)
+            .is_some_and(|s| s.seq <= seq)
+        {
+            self.store_head += 1;
+        }
+        if self.store_head >= self.stores.len() {
+            self.stores.clear();
+            self.store_head = 0;
+        } else if self.store_head > self.store_capacity * 4 {
+            self.stores.drain(..self.store_head);
+            self.store_head = 0;
+        }
+        while self.loads.get(self.load_head).is_some_and(|&l| l <= seq) {
+            self.load_head += 1;
+        }
+        if self.load_head >= self.loads.len() {
+            self.loads.clear();
+            self.load_head = 0;
+        } else if self.load_head > self.load_capacity * 4 {
+            self.loads.drain(..self.load_head);
+            self.load_head = 0;
+        }
+    }
+
     /// Number of store-to-load forwards observed.
     #[must_use]
     pub fn forward_count(&self) -> u64 {
@@ -185,7 +277,10 @@ impl LoadStoreQueue {
     /// In-flight (load, store) occupancy.
     #[must_use]
     pub fn occupancy(&self) -> (usize, usize) {
-        (self.loads.len(), self.stores.len())
+        (
+            self.loads.len() - self.load_head,
+            self.stores.len() - self.store_head,
+        )
     }
 }
 

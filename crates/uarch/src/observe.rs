@@ -53,10 +53,18 @@ impl OccupancyHist {
 
     /// Records one cycle at `occupancy` entries.
     pub fn record(&mut self, occupancy: usize) {
+        self.record_n(occupancy, 1);
+    }
+
+    /// Records `n` cycles at `occupancy` entries, bit-identical to calling
+    /// [`record`](Self::record) `n` times. Idle-cycle coalescing replays a
+    /// whole skipped stretch (whose occupancies are constant by
+    /// construction) with one call.
+    pub fn record_n(&mut self, occupancy: usize, n: u64) {
         if self.buckets.len() <= occupancy {
             self.buckets.resize(occupancy + 1, 0);
         }
-        self.buckets[occupancy] += 1;
+        self.buckets[occupancy] += n;
     }
 
     /// Cycles recorded in total.

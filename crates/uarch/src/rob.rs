@@ -99,6 +99,40 @@ impl ReorderBuffer {
         e.complete_at = e.complete_at.min(cycle);
     }
 
+    /// [`ReorderBuffer::complete`] with an O(1) fast path: cores allocate
+    /// every fetched instruction, so occupied entries almost always carry
+    /// contiguous sequence numbers and `seq` sits at offset
+    /// `seq - front.seq`. Falls back to the scan when the guess misses
+    /// (sparse allocation, as some unit tests exercise). Identical
+    /// observable behaviour to [`ReorderBuffer::complete`]; the batched
+    /// engine uses this, the scalar reference keeps the plain scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in the buffer.
+    pub fn complete_indexed(&mut self, seq: u64, cycle: u64) {
+        if let Some(front) = self.entries.front() {
+            if let Some(idx) = seq.checked_sub(front.seq) {
+                if let Some(e) = self.entries.get_mut(idx as usize) {
+                    if e.seq == seq {
+                        e.complete_at = e.complete_at.min(cycle);
+                        return;
+                    }
+                }
+            }
+        }
+        self.complete(seq, cycle);
+    }
+
+    /// Completion cycle of the head entry (`u64::MAX` until it executes),
+    /// or `None` when the buffer is empty. The earliest cycle at which the
+    /// next commit can possibly happen — idle-cycle coalescing uses it as
+    /// one bound on how far the clock may safely jump.
+    #[must_use]
+    pub fn head_complete_at(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.complete_at)
+    }
+
     /// Pops up to `width` head entries whose results are complete by
     /// `cycle`, returning them in commit order.
     #[must_use]

@@ -116,6 +116,20 @@ pub trait WindowModel: std::fmt::Debug {
     /// path; reusing one buffer keeps that path allocation-free.
     fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>);
 
+    /// [`select_into`](Self::select_into) for the tuned (batched) engine:
+    /// identical selection decisions and surviving-entry order, but an
+    /// organization may override it with a cheaper removal strategy. The
+    /// default delegates to the reference implementation, so exotic models
+    /// are correct for free; the scalar reference core never calls this.
+    fn select_into_tuned(
+        &mut self,
+        now: u64,
+        budget: &mut IssueBudget,
+        out: &mut Vec<WindowEntry>,
+    ) {
+        self.select_into(now, budget, out);
+    }
+
     /// Lowers the ready time of entry `seq` to `ready_at` (used by cores
     /// that insert entries with `u64::MAX` while producers are unissued and
     /// wake them when the last producer schedules). No-op if `seq` is not
@@ -134,6 +148,70 @@ pub trait WindowModel: std::fmt::Debug {
     /// dependency wait (`ready_at > now`) from in-window staging delay
     /// (broadcast arrived but the wakeup pipeline has not surfaced it).
     fn oldest_waiting(&self, now: u64) -> Option<WindowEntry>;
+
+    /// The earliest cycle at which *any* entry becomes visible to select,
+    /// assuming no further wakeups arrive (`u64::MAX` when the window is
+    /// empty or every entry waits on an unscheduled producer). Returns
+    /// `None` when the organization cannot answer cheaply — callers must
+    /// then treat every cycle as potentially active. Idle-cycle coalescing
+    /// uses this as one bound on how far the clock may safely jump; the
+    /// default keeps exotic window models conservative (and correct) for
+    /// free.
+    fn next_visible_at(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// The boxed trait object the scalar reference core stores: dynamic
+/// dispatch keeps that core's window pluggable at runtime (conventional,
+/// segmented, speculative) at the cost of a virtual call per stage probe.
+/// The batched engine instead monomorphizes the core over a concrete
+/// window type; this delegating impl lets both share one generic core.
+impl WindowModel for Box<dyn WindowModel + Send> {
+    fn has_space(&self) -> bool {
+        (**self).has_space()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn insert(&mut self, entry: WindowEntry) {
+        (**self).insert(entry);
+    }
+
+    fn select_into(&mut self, now: u64, budget: &mut IssueBudget, out: &mut Vec<WindowEntry>) {
+        (**self).select_into(now, budget, out);
+    }
+
+    fn select_into_tuned(
+        &mut self,
+        now: u64,
+        budget: &mut IssueBudget,
+        out: &mut Vec<WindowEntry>,
+    ) {
+        (**self).select_into_tuned(now, budget, out);
+    }
+
+    fn set_ready(&mut self, seq: u64, ready_at: u64) {
+        (**self).set_ready(seq, ready_at);
+    }
+
+    fn visible_ready(&self, now: u64) -> usize {
+        (**self).visible_ready(now)
+    }
+
+    fn oldest_waiting(&self, now: u64) -> Option<WindowEntry> {
+        (**self).oldest_waiting(now)
+    }
+
+    fn next_visible_at(&self) -> Option<u64> {
+        (**self).next_visible_at()
+    }
 }
 
 /// A conventional (monolithic) issue window.
@@ -223,6 +301,31 @@ impl WindowModel for ConventionalWindow {
         }
     }
 
+    /// Single forward pass compacting survivors in place: the same
+    /// entries are selected in the same order as the reference's
+    /// scan-and-`remove` loop (the budget is consumed in identical
+    /// order), but each select costs one O(len) sweep instead of an
+    /// O(len) shift per selected entry.
+    fn select_into_tuned(
+        &mut self,
+        now: u64,
+        budget: &mut IssueBudget,
+        out: &mut Vec<WindowEntry>,
+    ) {
+        let wake = self.wakeup_latency - 1;
+        let mut kept = 0;
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if budget.total != 0 && e.ready_at.saturating_add(wake) <= now && budget.take(e.port) {
+                out.push(e);
+            } else {
+                self.entries[kept] = e;
+                kept += 1;
+            }
+        }
+        self.entries.truncate(kept);
+    }
+
     fn visible_ready(&self, now: u64) -> usize {
         let wake = self.wakeup_latency - 1;
         self.entries
@@ -237,6 +340,17 @@ impl WindowModel for ConventionalWindow {
             .iter()
             .find(|e| e.ready_at.saturating_add(wake) > now)
             .copied()
+    }
+
+    fn next_visible_at(&self) -> Option<u64> {
+        let wake = self.wakeup_latency - 1;
+        Some(
+            self.entries
+                .iter()
+                .map(|e| e.ready_at.saturating_add(wake))
+                .min()
+                .unwrap_or(u64::MAX),
+        )
     }
 }
 

@@ -269,6 +269,68 @@ impl Iterator for TraceCursor {
     }
 }
 
+/// The arena's materialized prefix decoded once into contiguous
+/// [`Instruction`]s, for batched lane sets that replay the same stream
+/// many times over.
+///
+/// [`TraceCursor`] unpacks the 21-B/inst columnar records on every `next`;
+/// with N lanes in lockstep that work is repeated N times. `SharedTrace`
+/// pays the decode once and hands every lane a [`SharedCursor`] that reads
+/// the shared buffer — the same `Instruction` values in the same order, so
+/// swapping cursor types is invisible to simulated outcomes. Past the
+/// prefix a cursor falls back to the arena's streaming continuation,
+/// keeping the "performance bound, not a correctness one" property of the
+/// materialized length.
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    buf: Arc<[Instruction]>,
+    /// Continuation positioned just past the decoded prefix; cloned by any
+    /// cursor that outruns the buffer.
+    rest: TraceCursor,
+}
+
+impl SharedTrace {
+    /// Decodes the full materialized prefix of `arena`.
+    #[must_use]
+    pub fn decode(arena: &Arc<TraceArena>) -> Self {
+        let mut cursor = arena.cursor();
+        let buf: Arc<[Instruction]> = (&mut cursor).take(arena.len()).collect();
+        Self { buf, rest: cursor }
+    }
+
+    /// A replay cursor starting at instruction 0.
+    #[must_use]
+    pub fn cursor(&self) -> SharedCursor {
+        SharedCursor {
+            buf: Arc::clone(&self.buf),
+            idx: 0,
+            rest: self.rest.clone(),
+        }
+    }
+}
+
+/// A replay iterator over a [`SharedTrace`]: one contiguous load per
+/// instruction inside the decoded prefix, streaming past its end.
+#[derive(Debug, Clone)]
+pub struct SharedCursor {
+    buf: Arc<[Instruction]>,
+    idx: usize,
+    rest: TraceCursor,
+}
+
+impl Iterator for SharedCursor {
+    type Item = Instruction;
+
+    #[inline]
+    fn next(&mut self) -> Option<Instruction> {
+        if let Some(&inst) = self.buf.get(self.idx) {
+            self.idx += 1;
+            return Some(inst);
+        }
+        self.rest.next()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

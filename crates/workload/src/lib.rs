@@ -52,7 +52,7 @@ pub mod profiles;
 pub mod stats;
 pub mod traceio;
 
-pub use arena::{TraceArena, TraceCursor};
+pub use arena::{SharedCursor, SharedTrace, TraceArena, TraceCursor};
 pub use generate::TraceGenerator;
 pub use profile::{BenchClass, BenchProfile, BranchModel, MemoryModel, OpMix};
 pub use stats::TraceStats;

@@ -32,7 +32,8 @@ use fo4depth::study::report;
 use fo4depth::study::scaler::ScaledMachine;
 use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
 use fo4depth::study::sweep::{
-    build_arenas, depth_sweep_arenas, depth_sweep_with, standard_points, CoreKind, SweepSpec,
+    build_arenas, depth_sweep_arenas, depth_sweep_arenas_batched, depth_sweep_spec,
+    depth_sweep_spec_batched, standard_points, CoreKind, SweepSpec,
 };
 use fo4depth::study::validation::{self, Bands};
 use fo4depth::util::args::{ArgError, Args};
@@ -47,6 +48,7 @@ fn usage() -> ExitCode {
            table3                          print the structure/operation latency table\n\
            sweep [--core ooo|inorder] [--overhead F] [--quick] [--warmup N]\n\
                  [--measure N] [--bench NAME[,NAME...]] [--csv] [--jobs N]\n\
+                 [--batch-lanes N|on|max|off]\n\
            bench NAME [--t-useful F] [--warmup N] [--measure N]\n\
            record NAME COUNT [FILE]        capture a synthetic trace (default stdout)\n\
            replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
@@ -55,10 +57,14 @@ fn usage() -> ExitCode {
            experiments                     list the paper's experiments\n\
            report [--core ooo|inorder] [--bench NAME[,NAME...]] [--points F[,F...]]\n\
                   [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE] [--jobs N]\n\
+                  [--batch-lanes N|on|max|off]\n\
                   emit a machine-readable JSON run report (counters + CPI stacks)\n\
            perf [--core ooo|inorder|both] [--quick] [--jobs N] [--out FILE]\n\
+                [--batch-lanes N|on|max|off]\n\
                   time the fixed sweep workload (trace generation and\n\
-                  simulation split out); emit a JSON bench report\n\
+                  simulation split out); emit a JSON bench report; unless\n\
+                  --batch-lanes off, also time the lane-batched engine and\n\
+                  verify it against the scalar sweep bit-for-bit\n\
            serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
                  [--cell-cache N] [--max-body BYTES] [--timeout-ms N]\n\
                  [--deadline-ms N] [--cache-dir DIR] [--fsync always|batch|off]\n\
@@ -136,12 +142,35 @@ fn benches_from(args: &mut Args) -> Result<Vec<BenchProfile>, ArgError> {
     }
 }
 
+/// Parses `--batch-lanes N|on|max|off` into `Some(lane cap)` (batched) or
+/// `None` (the scalar reference path). `on` and `max` mean "all of a
+/// benchmark's clock points in one batch"; callers clamp the cap to the
+/// point count. `default` applies when the flag is absent.
+fn batch_lanes_from(args: &mut Args, default: Option<usize>) -> Result<Option<usize>, ArgError> {
+    match args.take_opt::<String>("--batch-lanes")? {
+        None => Ok(default),
+        Some(v) => match v.as_str() {
+            "off" => Ok(None),
+            "on" | "max" => Ok(Some(usize::MAX)),
+            n => match n.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ArgError(format!(
+                    "bad --batch-lanes {n}; expected a positive lane count, on, max, or off"
+                ))),
+            },
+        },
+    }
+}
+
 fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
     apply_jobs(&mut args)?;
     let core = core_from(&mut args)?;
     let overhead = args.take_opt("--overhead")?.unwrap_or(1.8);
     let csv = args.take_flag("--csv");
     let quick = args.take_flag("--quick");
+    // Default off: the scalar path is the reference implementation; the
+    // batched engine is opt-in here (perf defaults it on and verifies).
+    let batch = batch_lanes_from(&mut args, None)?;
     let mut params = params_from(&mut args)?;
     if quick {
         params.warmup = params.warmup.min(2_000);
@@ -149,14 +178,22 @@ fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
     }
     let profs = benches_from(&mut args)?;
     args.finish()?;
-    let sweep = depth_sweep_with(
+    let structures = StructureSet::alpha_21264();
+    let points = standard_points();
+    let spec = SweepSpec {
         core,
-        &profs,
-        &params,
-        &StructureSet::alpha_21264(),
-        Fo4::new(overhead),
-        &standard_points(),
-    );
+        profiles: &profs,
+        params: &params,
+        structures: &structures,
+        overhead: Fo4::new(overhead),
+        points: &points,
+        observed: false,
+    };
+    let pool = fo4depth::exec::global();
+    let sweep = match batch {
+        Some(lanes) => depth_sweep_spec_batched(&spec, pool, lanes.min(points.len()).max(1)),
+        None => depth_sweep_spec(&spec, pool),
+    };
     if csv {
         print!("{}", render::sweep_csv(&sweep));
     } else {
@@ -294,6 +331,8 @@ fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     let core = core_from(&mut args)?;
     let quick = args.take_flag("--quick");
     let out_path = args.take_opt::<String>("--out")?;
+    // Default off, like `sweep`: the scalar path is the reference.
+    let batch = batch_lanes_from(&mut args, None)?;
     let mut params = params_from(&mut args)?;
     if quick {
         // Short intervals and three representative clock points: enough for
@@ -314,7 +353,27 @@ fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     };
     let profs = benches_from(&mut args)?;
     args.finish()?;
-    let doc = report::generate(core, &profs, &params, &points);
+    let doc = match batch {
+        Some(lanes) => {
+            let structures = StructureSet::alpha_21264();
+            let spec = SweepSpec {
+                core,
+                profiles: &profs,
+                params: &params,
+                structures: &structures,
+                overhead: Fo4::new(1.8),
+                points: &points,
+                observed: true,
+            };
+            let sweep = depth_sweep_spec_batched(
+                &spec,
+                fo4depth::exec::global(),
+                lanes.min(points.len()).max(1),
+            );
+            report::sweep_json(&sweep, &params)
+        }
+        None => report::generate(core, &profs, &params, &points),
+    };
     let text = doc.pretty();
     match out_path {
         Some(path) => {
@@ -339,6 +398,9 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     apply_jobs(&mut args)?;
     let quick = args.take_flag("--quick");
     let out_path = args.take_opt::<String>("--out")?;
+    // Default on: every perf run times the batched engine alongside the
+    // scalar reference and asserts they agree bit-for-bit.
+    let batch = batch_lanes_from(&mut args, Some(usize::MAX))?;
     let cores: Vec<CoreKind> = match args.take_opt::<String>("--core")?.as_deref() {
         None | Some("both") => vec![CoreKind::OutOfOrder, CoreKind::InOrder],
         Some("ooo") => vec![CoreKind::OutOfOrder],
@@ -395,7 +457,18 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
         let (opt_t, opt_bips) = sweep.optimum(None);
         total_cycles += cycles;
         total_rate = cycles as f64 / sim;
-        sweeps.push(Json::obj(vec![
+        let batched = batch.map(|lanes| {
+            let lanes = lanes.min(points.len()).max(1);
+            let batched_start = std::time::Instant::now();
+            let batched_sweep = depth_sweep_arenas_batched(&spec, &arenas, pool, lanes);
+            let batched_sim = batched_start.elapsed().as_secs_f64();
+            assert_eq!(
+                batched_sweep, sweep,
+                "batched sweep diverged from the scalar reference"
+            );
+            (lanes, batched_sim)
+        });
+        let mut fields = vec![
             (
                 "core",
                 Json::str(match core {
@@ -404,6 +477,13 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
                 }),
             ),
             ("sim_seconds", Json::Num(sim)),
+        ];
+        if let Some((lanes, batched_sim)) = batched {
+            fields.push(("batched_sim_seconds", Json::Num(batched_sim)));
+            fields.push(("batch_lanes", Json::uint(lanes as u64)));
+            fields.push(("batched_speedup", Json::Num(sim / batched_sim)));
+        }
+        fields.extend(vec![
             ("simulated_cycles", Json::uint(cycles)),
             ("simulated_instructions", Json::uint(instructions)),
             (
@@ -421,11 +501,12 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
                     ("bips", Json::Num(opt_bips)),
                 ]),
             ),
-        ]));
+        ]);
+        sweeps.push(Json::obj(fields));
     }
     let wall = start.elapsed().as_secs_f64();
     let doc = Json::obj(vec![
-        ("schema_version", Json::Int(2)),
+        ("schema_version", Json::Int(3)),
         (
             "workload",
             Json::obj(vec![

@@ -202,3 +202,140 @@ pub fn wait_for_counter(addr: SocketAddr, path: &[&str], target: u64) -> u64 {
     }
     panic!("counter {path:?} never reached {target}");
 }
+
+// ---------------------------------------------------------------------------
+// Bitwise sweep equivalence
+// ---------------------------------------------------------------------------
+
+use fo4depth::study::sim::BenchOutcome;
+use fo4depth::study::sweep::DepthSweep;
+use fo4depth_pipeline::StallCause;
+
+/// Names every field on which two outcomes differ, in declaration order —
+/// the diagnostic backbone of [`assert_outcomes_bitwise_eq`].
+fn outcome_divergences(a: &BenchOutcome, b: &BenchOutcome) -> Vec<String> {
+    fn record(diffs: &mut Vec<String>, name: &str, ne: bool) {
+        if ne {
+            diffs.push(name.to_string());
+        }
+    }
+    let mut diffs = Vec::new();
+    let mut field = |name: &str, ne: bool| record(&mut diffs, name, ne);
+    field("name", a.name != b.name);
+    field("class", a.class != b.class);
+    let (r, s) = (&a.result, &b.result);
+    field("result.instructions", r.instructions != s.instructions);
+    field("result.cycles", r.cycles != s.cycles);
+    field("result.branches", r.branches != s.branches);
+    field("result.mispredicts", r.mispredicts != s.mispredicts);
+    field("result.l1", r.l1 != s.l1);
+    field("result.l2", r.l2 != s.l2);
+    field("result.forwards", r.forwards != s.forwards);
+    field("result.loads", r.loads != s.loads);
+    match (&a.counters, &b.counters) {
+        (None, None) => {}
+        (Some(_), None) | (None, Some(_)) => field("counters presence", true),
+        (Some(c), Some(d)) => {
+            field("counters.width", c.width != d.width);
+            field("counters.cycles", c.cycles != d.cycles);
+            field("counters.useful_slots", c.useful_slots != d.useful_slots);
+            for cause in StallCause::ALL {
+                field(
+                    &format!("counters.stall_slots[{}]", cause.key()),
+                    c.stalls(cause) != d.stalls(cause),
+                );
+            }
+            field(
+                "counters.window_occupancy",
+                c.window_occupancy != d.window_occupancy,
+            );
+            field("counters.rob_occupancy", c.rob_occupancy != d.rob_occupancy);
+            field("counters.lsq_occupancy", c.lsq_occupancy != d.lsq_occupancy);
+            field(
+                "counters.dispatch_blocked_rob",
+                c.dispatch_blocked_rob != d.dispatch_blocked_rob,
+            );
+            field(
+                "counters.dispatch_blocked_window",
+                c.dispatch_blocked_window != d.dispatch_blocked_window,
+            );
+            field(
+                "counters.dispatch_blocked_lsq",
+                c.dispatch_blocked_lsq != d.dispatch_blocked_lsq,
+            );
+            field(
+                "counters.dispatch_blocked_rename",
+                c.dispatch_blocked_rename != d.dispatch_blocked_rename,
+            );
+            field("counters.btb", c.btb != d.btb);
+        }
+    }
+    diffs
+}
+
+/// Asserts `candidate` reproduces `reference` bit for bit, outcome by
+/// outcome. On divergence, panics naming the first differing benchmark,
+/// every differing field, and the cycle-count delta — enough to tell a
+/// scheduling bug (cycles drift) from an accounting bug (counters only).
+pub fn assert_outcomes_bitwise_eq(
+    context: &str,
+    reference: &[BenchOutcome],
+    candidate: &[BenchOutcome],
+) {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "{context}: outcome count mismatch"
+    );
+    for (i, (r, c)) in reference.iter().zip(candidate).enumerate() {
+        let diffs = outcome_divergences(r, c);
+        assert!(
+            diffs.is_empty(),
+            "{context}: first divergence at outcome {i} (benchmark {}): \
+             fields [{}], cycle delta {:+}",
+            r.name,
+            diffs.join(", "),
+            c.result.cycles as i128 - r.result.cycles as i128,
+        );
+    }
+}
+
+/// Asserts two sweeps are bit-identical, localizing the first divergence to
+/// its `(clock point × benchmark)` cell before delegating the field-level
+/// diagnostic to [`assert_outcomes_bitwise_eq`].
+pub fn assert_sweeps_bitwise_eq(context: &str, reference: &DepthSweep, candidate: &DepthSweep) {
+    assert_eq!(reference.core, candidate.core, "{context}: core mismatch");
+    assert_eq!(
+        reference.overhead, candidate.overhead,
+        "{context}: overhead mismatch"
+    );
+    assert_eq!(
+        reference.points.len(),
+        candidate.points.len(),
+        "{context}: point count mismatch"
+    );
+    for (pi, (r, c)) in reference.points.iter().zip(&candidate.points).enumerate() {
+        assert_eq!(
+            r.t_useful, c.t_useful,
+            "{context}: point {pi} t_useful mismatch"
+        );
+        assert_eq!(
+            r.period_ps, c.period_ps,
+            "{context}: point {pi} period mismatch"
+        );
+        assert_outcomes_bitwise_eq(
+            &format!("{context}, point {pi} (t_useful {})", r.t_useful),
+            &r.outcomes,
+            &c.outcomes,
+        );
+    }
+    // The walk above localizes any divergence; this full-struct equality
+    // (plus the rendered CSV, the artifact the study ships) is the backstop
+    // that no field escaped the walk.
+    assert_eq!(reference, candidate, "{context}: sweeps differ");
+    assert_eq!(
+        fo4depth::study::render::sweep_csv(reference),
+        fo4depth::study::render::sweep_csv(candidate),
+        "{context}: rendered CSV bytes differ"
+    );
+}

@@ -5,6 +5,8 @@
 //! This is the execution engine's acceptance bar — parallelism is purely a
 //! scheduling concern and must never leak into simulated outcomes.
 
+mod common;
+
 use fo4depth::exec::Pool;
 use fo4depth::study::latency::StructureSet;
 use fo4depth::study::sim::SimParams;
@@ -50,21 +52,15 @@ fn assert_pool_invariant(core: CoreKind, observed: bool) {
         .map(|n| depth_sweep_spec(&spec, &Pool::new(n)))
         .collect();
     for (i, s) in sweeps.iter().enumerate().skip(1) {
-        assert_eq!(
+        common::assert_sweeps_bitwise_eq(
+            &format!(
+                "{core:?} observed={observed}, pool size {} vs serial",
+                [1, 2, max][i]
+            ),
             &sweeps[0],
             s,
-            "{core:?} observed={observed}: pool size {} diverged from serial",
-            [1, 2, max][i]
         );
     }
-    // Equality of the struct is necessary but JSON is the artifact the
-    // study ships; pin the bytes too.
-    let rendered: Vec<String> = sweeps
-        .iter()
-        .map(fo4depth::study::render::sweep_csv)
-        .collect();
-    assert_eq!(rendered[0], rendered[1]);
-    assert_eq!(rendered[0], rendered[2]);
 }
 
 #[test]

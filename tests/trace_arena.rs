@@ -3,13 +3,14 @@
 //! depth sweep, byte for byte — from the streaming [`TraceGenerator`] path
 //! it replaced.
 
+mod common;
+
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use fo4depth::exec::Pool;
 use fo4depth::study::latency::StructureSet;
-use fo4depth::study::render;
 use fo4depth::study::scaler::ScaledMachine;
 use fo4depth::study::sim::SimParams;
 use fo4depth::study::sweep::{
@@ -141,10 +142,10 @@ fn shared_arenas_are_pool_invariant_byte_for_byte() {
         };
         let a = depth_sweep_arenas(&spec, &arenas, &serial);
         let b = depth_sweep_arenas(&spec, &arenas, &wide);
-        assert_eq!(
-            render::sweep_csv(&a),
-            render::sweep_csv(&b),
-            "{core:?}: shared-arena sweep must not depend on pool size"
+        common::assert_sweeps_bitwise_eq(
+            &format!("{core:?}: shared-arena sweep across pool sizes"),
+            &a,
+            &b,
         );
     }
 }
