@@ -39,6 +39,7 @@
 //! ```
 
 pub mod ablation;
+pub mod adaptive;
 pub mod capacity;
 pub mod cells;
 pub mod cray;
@@ -58,7 +59,8 @@ pub mod sweep;
 pub mod validation;
 pub mod wires;
 
+pub use adaptive::{analytic_optimum, AdaptiveConfig, AdaptivePlanner, AdaptiveStats};
 pub use latency::{LatencyTable, StructureSet, ALPHA_USEFUL_FO4};
 pub use scaler::{MemoryConvention, ScaleOptions, ScaledMachine};
 pub use sim::{ClassSummary, SimParams};
-pub use sweep::{CoreKind, DepthSweep};
+pub use sweep::{AdaptiveSweep, CoreKind, DepthSweep};

@@ -21,7 +21,7 @@ use fo4depth_workload::{BenchClass, BenchProfile};
 
 use crate::latency::StructureSet;
 use crate::sim::{summarize, BenchOutcome, SimParams};
-use crate::sweep::{depth_sweep_observed, CoreKind, DepthSweep};
+use crate::sweep::{depth_sweep_observed, AdaptiveSweep, CoreKind, DepthSweep};
 
 /// Report format version; bump on any incompatible schema change.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -204,6 +204,43 @@ pub fn sweep_json(sweep: &DepthSweep, params: &SimParams) -> Json {
         ),
         ("points", Json::Arr(points)),
         ("optima", Json::obj(optima)),
+    ])
+}
+
+/// Serializes an adaptive sweep: the usual report document over the probed
+/// points, plus an `adaptive` block recording the search cost and seed.
+#[must_use]
+pub fn adaptive_sweep_json(a: &AdaptiveSweep, params: &SimParams) -> Json {
+    let Json::Obj(mut fields) = sweep_json(&a.sweep, params) else {
+        unreachable!("sweep_json returns an object")
+    };
+    fields.push(("adaptive".to_string(), adaptive_stats_json(a)));
+    Json::Obj(fields)
+}
+
+/// The `adaptive` stats block shared by reports and the serve layer.
+#[must_use]
+pub fn adaptive_stats_json(a: &AdaptiveSweep) -> Json {
+    Json::obj(vec![
+        ("seed_t_useful", Json::Num(a.stats.seed_t)),
+        ("rounds", Json::uint(a.stats.rounds as u64)),
+        ("points_probed", Json::uint(a.stats.probed_points as u64)),
+        ("points_dense", Json::uint(a.stats.dense_points as u64)),
+        ("cells_simulated", Json::uint(a.cells_simulated as u64)),
+        ("cells_dense", Json::uint(a.cells_dense as u64)),
+        (
+            "cells_saved",
+            Json::uint(a.cells_dense.saturating_sub(a.cells_simulated) as u64),
+        ),
+        (
+            "probe_order",
+            Json::Arr(
+                a.probe_order
+                    .iter()
+                    .map(|&i| Json::uint(i as u64))
+                    .collect(),
+            ),
+        ),
     ])
 }
 

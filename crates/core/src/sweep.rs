@@ -12,6 +12,7 @@ use fo4depth_pipeline::CoreConfig;
 use fo4depth_workload::{BenchClass, BenchProfile, TraceArena};
 use serde::{Deserialize, Serialize};
 
+use crate::adaptive::{AdaptiveConfig, AdaptivePlanner, AdaptiveStats};
 use crate::latency::StructureSet;
 use crate::scaler::ScaledMachine;
 use crate::sim::{
@@ -387,6 +388,245 @@ pub fn depth_sweep_batched(
         fo4depth_exec::global(),
         points.len(),
     )
+}
+
+/// The measured-best lane count for a core's point batches. The
+/// out-of-order core amortizes its decode and fetch-plan sharing across
+/// every clock point it can get (1.69× over scalar, BENCH_report.json);
+/// the in-order core's lanes barely pay off (1.10×) because its per-lane
+/// state is small enough that scalar replay is already cache-resident —
+/// wide batches just lengthen the lockstep chunk's working set, so it
+/// caps at four lanes.
+#[must_use]
+pub fn auto_lanes(core: CoreKind, points: usize) -> usize {
+    match core {
+        CoreKind::OutOfOrder => points.max(1),
+        CoreKind::InOrder => points.clamp(1, 4),
+    }
+}
+
+/// One adaptive sweep's result: the probed subset of the dense grid (in
+/// ascending `t_useful`, so [`DepthSweep::optimum`] works unchanged), the
+/// probe order, and cost accounting. Because the curve is unimodal and
+/// refinement confirms the incumbent against both grid-adjacent
+/// neighbours, `sweep.optimum(None)` equals the dense sweep's optimum —
+/// and every probed point is bitwise identical to its dense counterpart
+/// (same dispatch path, same seed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSweep {
+    /// Probed points only, ascending.
+    pub sweep: DepthSweep,
+    /// Dense-grid indices in the order the planner issued them (coarse
+    /// pass first, then refinement rounds).
+    pub probe_order: Vec<usize>,
+    /// Planner summary (points probed, rounds, seed).
+    pub stats: AdaptiveStats,
+    /// Cells the dense sweep would have simulated.
+    pub cells_dense: usize,
+    /// Cells this sweep simulated.
+    pub cells_simulated: usize,
+}
+
+impl AdaptiveSweep {
+    /// Completes the adaptive result into the full dense sweep by
+    /// simulating only the unprobed grid points and merging — every probed
+    /// point is reused as-is, so re-probing toward the dense answer costs
+    /// exactly the cells the adaptive pass skipped. The result is bitwise
+    /// identical to running [`depth_sweep_arenas`] from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` does not describe the grid this sweep was planned
+    /// on (point count mismatch) or `arenas` is misaligned.
+    #[must_use]
+    pub fn densify(
+        &self,
+        spec: &SweepSpec<'_>,
+        arenas: &[Arc<TraceArena>],
+        pool: &fo4depth_exec::Pool,
+        lanes: Option<usize>,
+    ) -> DepthSweep {
+        assert_eq!(
+            spec.points.len(),
+            self.stats.dense_points,
+            "densify spec must match the planned grid"
+        );
+        let mut probed = self.probe_order.clone();
+        probed.sort_unstable();
+        let missing: Vec<usize> = (0..spec.points.len())
+            .filter(|i| probed.binary_search(i).is_err())
+            .collect();
+        let fresh = run_points(spec, arenas, pool, lanes, &missing);
+        let mut fresh = fresh.into_iter();
+        let mut have = self.sweep.points.iter().cloned();
+        let points = (0..spec.points.len())
+            .map(|i| {
+                if probed.binary_search(&i).is_ok() {
+                    have.next().expect("one probed point per probed index")
+                } else {
+                    fresh.next().expect("one fresh point per missing index")
+                }
+            })
+            .collect();
+        DepthSweep {
+            core: spec.core,
+            overhead: spec.overhead.get(),
+            points,
+        }
+    }
+}
+
+/// Simulates a subset of a sweep's grid points (by dense-grid index) over
+/// shared arenas, returning one [`SweepPoint`] per requested index, in
+/// request order. `lanes: None` takes the scalar per-cell path (one pool
+/// task per `(point × benchmark)` cell); `Some(k)` the lane-batched path
+/// (groups of up to `k` points per benchmark). Both go through the same
+/// grid dispatch as the dense sweeps, so every outcome is bitwise
+/// identical to the dense equivalent.
+pub(crate) fn run_points(
+    spec: &SweepSpec<'_>,
+    arenas: &[Arc<TraceArena>],
+    pool: &fo4depth_exec::Pool,
+    lanes: Option<usize>,
+    indices: &[usize],
+) -> Vec<SweepPoint> {
+    assert_eq!(
+        arenas.len(),
+        spec.profiles.len(),
+        "one arena per profile, in order"
+    );
+    let machines: Vec<ScaledMachine> = indices
+        .iter()
+        .map(|&pi| ScaledMachine::at(spec.structures, spec.points[pi], spec.overhead))
+        .collect();
+    let grid_outcomes: Vec<BenchOutcome> = match lanes {
+        None => {
+            let grid: Vec<(usize, usize)> = (0..indices.len())
+                .flat_map(|k| (0..spec.profiles.len()).map(move |bi| (k, bi)))
+                .collect();
+            pool.map(&grid, |&(k, bi)| {
+                run_grid_cell(
+                    spec.core,
+                    spec.observed,
+                    &machines[k].config,
+                    &arenas[bi],
+                    spec.params,
+                )
+            })
+        }
+        Some(lanes) => {
+            assert!(lanes > 0, "a batch needs at least one lane");
+            let tasks: Vec<(usize, std::ops::Range<usize>)> = (0..spec.profiles.len())
+                .flat_map(|bi| {
+                    (0..indices.len())
+                        .step_by(lanes)
+                        .map(move |lo| (bi, lo..(lo + lanes).min(indices.len())))
+                })
+                .collect();
+            let batches = pool.map(&tasks, |(bi, ks)| {
+                let configs: Vec<&CoreConfig> = ks.clone().map(|k| &machines[k].config).collect();
+                run_grid_group(
+                    spec.core,
+                    spec.observed,
+                    &configs,
+                    &arenas[*bi],
+                    spec.params,
+                )
+            });
+            let mut grid: Vec<Option<BenchOutcome>> = Vec::new();
+            grid.resize_with(indices.len() * spec.profiles.len(), || None);
+            for ((bi, ks), batch) in tasks.into_iter().zip(batches) {
+                for (k, outcome) in ks.zip(batch) {
+                    grid[k * spec.profiles.len() + bi] = Some(outcome);
+                }
+            }
+            grid.into_iter()
+                .map(|o| o.expect("every cell filled"))
+                .collect()
+        }
+    };
+    let mut outcomes = grid_outcomes.into_iter();
+    indices
+        .iter()
+        .zip(&machines)
+        .map(|(&pi, machine)| SweepPoint {
+            t_useful: spec.points[pi].get(),
+            period_ps: machine.period_ps(),
+            outcomes: outcomes.by_ref().take(spec.profiles.len()).collect(),
+        })
+        .collect()
+}
+
+/// Runs an adaptive sweep over pre-materialized arenas: coarse pass, then
+/// refinement rounds around the incumbent (see
+/// [`AdaptivePlanner`](crate::adaptive::AdaptivePlanner)), each round's
+/// points fanned out on `pool` through the same scalar or lane-batched
+/// grid dispatch as the dense sweeps. The figure of merit is the
+/// harmonic-mean BIPS over *all* benchmarks at each point — the paper's
+/// headline curve.
+///
+/// # Panics
+///
+/// Panics if `arenas` is misaligned with `spec.profiles`, `spec.points`
+/// is empty or not strictly increasing, or `spec.profiles` is empty.
+#[must_use]
+pub fn adaptive_sweep_arenas(
+    spec: &SweepSpec<'_>,
+    arenas: &[Arc<TraceArena>],
+    pool: &fo4depth_exec::Pool,
+    lanes: Option<usize>,
+    config: &AdaptiveConfig,
+) -> AdaptiveSweep {
+    assert!(!spec.profiles.is_empty(), "a sweep needs benchmarks");
+    for (arena, profile) in arenas.iter().zip(spec.profiles) {
+        assert_eq!(
+            arena.profile().name,
+            profile.name,
+            "arena/profile misalignment"
+        );
+    }
+    let mut planner = AdaptivePlanner::new(spec.points, spec.core, spec.overhead, config);
+    let mut slots: Vec<Option<SweepPoint>> = vec![None; spec.points.len()];
+    loop {
+        let batch = planner.next_batch();
+        if batch.is_empty() {
+            break;
+        }
+        let round = run_points(spec, arenas, pool, lanes, &batch);
+        for (&pi, point) in batch.iter().zip(round) {
+            let merit = summarize(&point.outcomes, None, point.period_ps)
+                .expect("benchmarks present")
+                .bips;
+            planner.record(pi, merit);
+            slots[pi] = Some(point);
+        }
+    }
+    let stats = planner.stats();
+    let points: Vec<SweepPoint> = slots.into_iter().flatten().collect();
+    let cells_simulated = points.len() * spec.profiles.len();
+    AdaptiveSweep {
+        sweep: DepthSweep {
+            core: spec.core,
+            overhead: spec.overhead.get(),
+            points,
+        },
+        probe_order: planner.probe_order().to_vec(),
+        stats,
+        cells_dense: spec.points.len() * spec.profiles.len(),
+        cells_simulated,
+    }
+}
+
+/// [`adaptive_sweep_arenas`] with arena materialization included.
+#[must_use]
+pub fn adaptive_sweep_spec(
+    spec: &SweepSpec<'_>,
+    pool: &fo4depth_exec::Pool,
+    lanes: Option<usize>,
+    config: &AdaptiveConfig,
+) -> AdaptiveSweep {
+    let arenas = build_arenas(spec.profiles, spec.params, pool);
+    adaptive_sweep_arenas(spec, &arenas, pool, lanes, config)
 }
 
 /// The one dispatch point every batched lane-group goes through — shared by

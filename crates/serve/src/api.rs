@@ -20,14 +20,16 @@
 //!   `(benchmark, seed, length)`, shared across every cell that replays
 //!   the same stream.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fo4depth_fo4::Fo4;
+use fo4depth_study::adaptive::{AdaptiveConfig, AdaptivePlanner};
 use fo4depth_study::cells::{assemble_sweep, sweep_cells, CellSpec};
 use fo4depth_study::latency::StructureSet;
 use fo4depth_study::report;
 use fo4depth_study::sim::{summarize, BenchOutcome, SimParams};
-use fo4depth_study::sweep::{standard_points, CoreKind};
+use fo4depth_study::sweep::{standard_points, AdaptiveSweep, CoreKind, DepthSweep, SweepPoint};
 use fo4depth_util::hash::Fnv64;
 use fo4depth_util::Json;
 use fo4depth_workload::{profiles, BenchClass, BenchProfile, TraceArena};
@@ -95,6 +97,13 @@ pub struct SweepRequest {
     pub params: SimParams,
     /// Per-stage overhead.
     pub overhead: Fo4,
+    /// `Some` when the request asked for adaptive refinement instead of
+    /// the dense grid; carries the planner knobs.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Whether the client asked for chunked per-point delivery. A
+    /// transport choice, not a computation: excluded from the
+    /// fingerprint, honoured by the `/v1/sweep` route only.
+    pub stream: bool,
 }
 
 /// A validated `/v1/run` request: one benchmark at one clock point.
@@ -119,6 +128,110 @@ fn core_key(core: CoreKind) -> &'static str {
         CoreKind::InOrder => "inorder",
         CoreKind::OutOfOrder => "ooo",
     }
+}
+
+/// The benchmark-class keys of the sweep summary, in render order.
+const CLASSES: [(&str, Option<BenchClass>); 4] = [
+    ("all", None),
+    ("integer", Some(BenchClass::Integer)),
+    ("vector_fp", Some(BenchClass::VectorFp)),
+    ("non_vector_fp", Some(BenchClass::NonVectorFp)),
+];
+
+// ---------------------------------------------------------------------------
+// /v1/sweep body fragments
+//
+// The sweep summary is delivered two ways — buffered (one
+// `content-length` body) and streamed (one chunk per completed point) —
+// and both must be the *same bytes*. The body is therefore always
+// produced as a fragment sequence: a preamble ending inside the `points`
+// array, one fragment per point, and a tail closing the array and
+// carrying the optima (and adaptive stats). Fragment interiors render
+// through `Json::pretty_fragment`, and only the array framing is written
+// by hand, so the concatenation is exactly the `Json::pretty` rendering
+// of the assembled document.
+// ---------------------------------------------------------------------------
+
+/// Everything before the first point: the document head, opened into the
+/// `points` array.
+fn head_fragment(req: &SweepRequest, schema: u64) -> String {
+    let head = Json::obj(vec![
+        ("schema_version", Json::uint(schema)),
+        ("core", Json::str(core_key(req.core))),
+        ("overhead_fo4", Json::Num(req.overhead.get())),
+        (
+            "params",
+            Json::obj(vec![
+                ("warmup", Json::uint(req.params.warmup)),
+                ("measure", Json::uint(req.params.measure)),
+                ("seed", Json::uint(req.params.seed)),
+            ]),
+        ),
+    ]);
+    let mut out = head.pretty_fragment(0);
+    out.truncate(out.len() - 2); // reopen the object: drop "\n}"
+    out.push_str(",\n  \"points\": [");
+    out
+}
+
+/// One per-class BIPS summary point of the `/v1/sweep` document.
+fn point_summary_json(p: &SweepPoint) -> Json {
+    let mut summaries = Vec::new();
+    for &(key, class) in &CLASSES {
+        if let Some(s) = summarize(&p.outcomes, class, p.period_ps) {
+            summaries.push((
+                key,
+                Json::obj(vec![
+                    ("bips", Json::Num(s.bips)),
+                    ("ipc", Json::Num(s.ipc)),
+                    ("count", Json::uint(s.count as u64)),
+                ]),
+            ));
+        }
+    }
+    Json::obj(vec![
+        ("t_useful", Json::Num(p.t_useful)),
+        ("period_ps", Json::Num(p.period_ps)),
+        ("classes", Json::obj(summaries)),
+    ])
+}
+
+/// One point as an array element (separator included for all but the
+/// first).
+fn point_fragment(p: &SweepPoint, first: bool) -> String {
+    format!(
+        "{}\n    {}",
+        if first { "" } else { "," },
+        point_summary_json(p).pretty_fragment(2)
+    )
+}
+
+/// The per-class optima over a (possibly probed-subset) sweep.
+fn optima_json(sweep: &DepthSweep) -> Json {
+    let mut optima = Vec::new();
+    for &(key, class) in &CLASSES {
+        if !sweep.series(class).is_empty() {
+            let (t, bips) = sweep.optimum(class);
+            optima.push((
+                key,
+                Json::obj(vec![("t_useful", Json::Num(t)), ("bips", Json::Num(bips))]),
+            ));
+        }
+    }
+    Json::obj(optima)
+}
+
+/// The terminal fragment: closes the `points` array and carries the
+/// optima (plus the adaptive stats block when the sweep was adaptive).
+fn tail_fragment(optima: Json, adaptive: Option<Json>) -> String {
+    let mut pairs = vec![("optima".to_string(), optima)];
+    if let Some(stats) = adaptive {
+        pairs.push(("adaptive".to_string(), stats));
+    }
+    let rendered = Json::Obj(pairs).pretty_fragment(0);
+    // Close the points array, then splice the tail object's members in
+    // (everything after its opening brace, which already ends "\n}").
+    format!("\n  ],{}\n", &rendered[1..])
 }
 
 /// Shared field readers over the request object.
@@ -238,6 +351,73 @@ impl<'a> Fields<'a> {
         Ok(points)
     }
 
+    /// The `"mode"`/`"tolerance"`/`"coarse_step"`/`"seed_clock"` group:
+    /// `Some(config)` for adaptive requests, `None` for dense. The knobs
+    /// are planner parameters, so they are rejected outside adaptive mode
+    /// rather than silently ignored.
+    fn adaptive(&self, points: &[Fo4]) -> Result<Option<AdaptiveConfig>, ApiError> {
+        let adaptive = match self.get("mode") {
+            None => false,
+            Some(v) => match v.as_str() {
+                Some("dense") => false,
+                Some("adaptive") => true,
+                _ => return Err(ApiError::invalid("mode must be \"dense\" or \"adaptive\"")),
+            },
+        };
+        for knob in ["tolerance", "coarse_step", "seed_clock"] {
+            if !adaptive && self.get(knob).is_some() {
+                return Err(ApiError::invalid(format!(
+                    "{knob} requires \"mode\": \"adaptive\""
+                )));
+            }
+        }
+        if !adaptive {
+            return Ok(None);
+        }
+        if points.windows(2).any(|w| w[0].get() >= w[1].get()) {
+            return Err(ApiError::invalid(
+                "adaptive mode requires strictly increasing points",
+            ));
+        }
+        let tolerance = match self.get("tolerance") {
+            None => 0.0,
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() && x >= 0.0 => x,
+                _ => {
+                    return Err(ApiError::invalid(
+                        "tolerance must be a non-negative number (FO4)",
+                    ))
+                }
+            },
+        };
+        let coarse_step = usize::try_from(self.uint("coarse_step", 0)?)
+            .map_err(|_| ApiError::invalid("coarse_step is out of range"))?;
+        let seed = match self.get("seed_clock") {
+            None => None,
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() && x > 0.0 && x <= 100.0 => Some(x),
+                _ => {
+                    return Err(ApiError::invalid(
+                        "seed_clock must be a number in (0, 100] FO4",
+                    ))
+                }
+            },
+        };
+        Ok(Some(AdaptiveConfig {
+            coarse_step,
+            tolerance,
+            seed,
+        }))
+    }
+
+    fn stream(&self) -> Result<bool, ApiError> {
+        match self.get("stream") {
+            None => Ok(false),
+            Some(Json::Bool(b)) => Ok(*b),
+            Some(_) => Err(ApiError::invalid("stream must be a boolean")),
+        }
+    }
+
     fn benchmark(v: &Json) -> Result<BenchProfile, ApiError> {
         let name = v
             .as_str()
@@ -304,14 +484,23 @@ impl SweepRequest {
                 "measure",
                 "seed",
                 "overhead",
+                "mode",
+                "tolerance",
+                "coarse_step",
+                "seed_clock",
+                "stream",
             ],
         )?;
+        let points = fields.points(limits)?;
+        let adaptive = fields.adaptive(&points)?;
         Ok(Self {
             core: fields.core()?,
             profiles: fields.benchmarks(limits)?,
-            points: fields.points(limits)?,
+            points,
             params: fields.params(limits)?,
             overhead: fields.overhead()?,
+            adaptive,
+            stream: fields.stream()?,
         })
     }
 
@@ -336,6 +525,26 @@ impl SweepRequest {
         h.write_u64(self.params.seed);
         h.write_f64(self.overhead.get());
         h.write_str(STRUCTURES_TAG);
+        // The search mode changes the document (probed subset, probe
+        // order, adaptive stats), so it and its knobs are part of the
+        // address. `stream` is transport framing over the same bytes and
+        // deliberately is not — a streamed sweep warms the cache for its
+        // buffered twin.
+        match &self.adaptive {
+            None => h.write_str("dense"),
+            Some(cfg) => {
+                h.write_str("adaptive");
+                h.write_f64(cfg.tolerance);
+                h.write_u64(cfg.coarse_step as u64);
+                match cfg.seed {
+                    None => h.write_u64(0),
+                    Some(seed) => {
+                        h.write_u64(1);
+                        h.write_f64(seed);
+                    }
+                }
+            }
+        }
         h.finish()
     }
 
@@ -412,6 +621,29 @@ impl RunRequest {
     }
 }
 
+/// Live counters for the `/metrics` document's `sweeps` section.
+#[derive(Debug, Default)]
+pub struct SweepCounters {
+    /// Adaptive sweeps actually planned and computed (response-cache
+    /// hits do not re-count).
+    pub adaptive: AtomicU64,
+    /// Cells adaptive plans skipped relative to their dense grids,
+    /// summed.
+    pub cells_saved: AtomicU64,
+    /// `/v1/sweep` responses delivered over chunked transfer.
+    pub streamed: AtomicU64,
+    /// Data chunks delivered across all streamed sweeps.
+    pub stream_chunks: AtomicU64,
+}
+
+impl SweepCounters {
+    /// Records one finished streamed response and its chunk count.
+    pub fn record_stream(&self, chunks: u64) {
+        self.streamed.fetch_add(1, Ordering::Relaxed);
+        self.stream_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+}
+
 /// The cached simulation engine behind every endpoint.
 pub struct Engine {
     structures: StructureSet,
@@ -421,6 +653,8 @@ pub struct Engine {
     pub cells: Cache<Arc<BenchOutcome>>,
     /// Materialized traces by `(benchmark, seed, length)`.
     pub arenas: Cache<Arc<TraceArena>>,
+    /// Adaptive-planning and streaming counters.
+    pub sweeps: SweepCounters,
     /// Persistent tier under the cell LRU (read-through/write-behind);
     /// absent when the daemon runs without `--cache-dir`.
     store: Option<Arc<CellStore>>,
@@ -449,6 +683,7 @@ impl Engine {
             responses: Cache::new(response_entries),
             cells: Cache::new(cell_entries),
             arenas: Cache::new(arena_entries),
+            sweeps: SweepCounters::default(),
             store,
         }
     }
@@ -491,7 +726,7 @@ impl Engine {
                 let arena = self.arena(&cell.profile, &cell.params);
                 let outcome = Arc::new(cell.run(&self.structures, &arena));
                 if let Some(store) = &self.store {
-                    store.put(fingerprint, &outcome);
+                    store.put_tagged(fingerprint, Some(cell.core), &outcome);
                 }
                 outcome
             },
@@ -516,8 +751,22 @@ impl Engine {
     /// the response tier; two *distinct* concurrent requests overlapping
     /// on a cold cell may both simulate it (the install is idempotent) —
     /// a deliberate trade for the batched fill's shared-arena pass.
-    fn sweep(&self, req: &SweepRequest, observed: bool) -> fo4depth_study::sweep::DepthSweep {
+    fn sweep(&self, req: &SweepRequest, observed: bool) -> DepthSweep {
         let cells = req.cells(observed);
+        let outcomes = self.fill_cells(&cells);
+        assemble_sweep(
+            req.core,
+            &self.structures,
+            req.overhead,
+            &req.points,
+            req.profiles.len(),
+            outcomes,
+        )
+    }
+
+    /// Resolves every cell through the cache tiers, simulating only the
+    /// cold remainder, and returns the outcomes positionally.
+    fn fill_cells(&self, cells: &[CellSpec]) -> Vec<BenchOutcome> {
         // Probe pass: LRU first (counting the hit/miss), then the
         // persistent tier, mirroring `outcome`'s tiering.
         let mut outcomes: Vec<Option<Arc<BenchOutcome>>> = cells
@@ -558,34 +807,113 @@ impl Engine {
                     let fingerprint = cells[i].fingerprint();
                     let out = Arc::new(out);
                     if let Some(store) = &self.store {
-                        store.put(fingerprint, &out);
+                        store.put_tagged(fingerprint, Some(cells[i].core), &out);
                     }
                     self.cells.insert(fingerprint, Arc::clone(&out));
                     outcomes[i] = Some(out);
                 }
             }
         }
-        let outcomes = outcomes
+        outcomes
             .into_iter()
             .map(|o| (*o.expect("every cell probed or batch-filled")).clone())
-            .collect();
+            .collect()
+    }
+
+    /// Simulates (or recalls) a subset of a sweep's grid points, given by
+    /// dense-grid index, through the same cache tiers as [`Self::sweep`].
+    /// One [`SweepPoint`] per requested index, in request order.
+    fn points_at(&self, req: &SweepRequest, observed: bool, indices: &[usize]) -> Vec<SweepPoint> {
+        let points: Vec<Fo4> = indices.iter().map(|&i| req.points[i]).collect();
+        let cells = sweep_cells(
+            req.core,
+            &req.profiles,
+            &req.params,
+            req.overhead,
+            &points,
+            observed,
+            STRUCTURES_TAG,
+        );
+        let outcomes = self.fill_cells(&cells);
         assemble_sweep(
             req.core,
             &self.structures,
             req.overhead,
-            &req.points,
+            &points,
             req.profiles.len(),
             outcomes,
         )
+        .points
+    }
+
+    /// The adaptive counterpart of [`Self::sweep`]: drives an
+    /// [`AdaptivePlanner`] round loop through the cell tiers, so probed
+    /// cells land in (and reuse) the same content-addressed cache as
+    /// dense sweeps and `/v1/run` — an adaptive pass warms its dense
+    /// twin and vice versa. `on_point` fires once per probed point, in
+    /// probe order, the moment that point's cells complete (the
+    /// streaming hook). Counting is planner-relative: `cells_simulated`
+    /// is what the plan *requested*; cache hits make it cheaper still.
+    fn adaptive_sweep(
+        &self,
+        req: &SweepRequest,
+        observed: bool,
+        config: &AdaptiveConfig,
+        on_point: &mut dyn FnMut(usize, &SweepPoint),
+    ) -> AdaptiveSweep {
+        let mut planner = AdaptivePlanner::new(&req.points, req.core, req.overhead, config);
+        let mut slots: Vec<Option<SweepPoint>> = vec![None; req.points.len()];
+        loop {
+            let batch = planner.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            let round = self.points_at(req, observed, &batch);
+            for (&pi, point) in batch.iter().zip(round) {
+                let merit = summarize(&point.outcomes, None, point.period_ps)
+                    .expect("benchmarks present")
+                    .bips;
+                planner.record(pi, merit);
+                on_point(pi, &point);
+                slots[pi] = Some(point);
+            }
+        }
+        let stats = planner.stats();
+        let points: Vec<SweepPoint> = slots.into_iter().flatten().collect();
+        let cells_simulated = points.len() * req.profiles.len();
+        let cells_dense = req.points.len() * req.profiles.len();
+        self.sweeps.adaptive.fetch_add(1, Ordering::Relaxed);
+        self.sweeps.cells_saved.fetch_add(
+            cells_dense.saturating_sub(cells_simulated) as u64,
+            Ordering::Relaxed,
+        );
+        AdaptiveSweep {
+            sweep: DepthSweep {
+                core: req.core,
+                overhead: req.overhead.get(),
+                points,
+            },
+            probe_order: planner.probe_order().to_vec(),
+            stats,
+            cells_dense,
+            cells_simulated,
+        }
     }
 
     /// `POST /v1/report` — the full observed run report, byte-identical
-    /// to `fo4depth report` with the same spec.
+    /// to `fo4depth report` with the same spec (adaptive mode included:
+    /// same planner, same grid-cell dispatch, same renderer).
     pub fn report(&self, req: &SweepRequest) -> Arc<String> {
         self.responses
-            .get_or_compute(req.fingerprint("report"), || {
-                let sweep = self.sweep(req, true);
-                Arc::new(report::sweep_json(&sweep, &req.params).pretty())
+            .get_or_compute(req.fingerprint("report"), || match &req.adaptive {
+                None => {
+                    let sweep = self.sweep(req, true);
+                    Arc::new(report::sweep_json(&sweep, &req.params).pretty())
+                }
+                Some(cfg) => {
+                    let a = self.adaptive_sweep(req, true, cfg, &mut |_, _| {});
+                    Arc::new(report::adaptive_sweep_json(&a, &req.params).pretty())
+                }
             })
     }
 
@@ -593,64 +921,81 @@ impl Engine {
     /// series and optima, no per-benchmark counter blocks).
     pub fn sweep_summary(&self, req: &SweepRequest) -> Arc<String> {
         self.responses.get_or_compute(req.fingerprint("sweep"), || {
-            let sweep = self.sweep(req, false);
-            let classes: [(&str, Option<BenchClass>); 4] = [
-                ("all", None),
-                ("integer", Some(BenchClass::Integer)),
-                ("vector_fp", Some(BenchClass::VectorFp)),
-                ("non_vector_fp", Some(BenchClass::NonVectorFp)),
-            ];
-            let points = sweep
-                .points
-                .iter()
-                .map(|p| {
-                    let mut summaries = Vec::new();
-                    for &(key, class) in &classes {
-                        if let Some(s) = summarize(&p.outcomes, class, p.period_ps) {
-                            summaries.push((
-                                key,
-                                Json::obj(vec![
-                                    ("bips", Json::Num(s.bips)),
-                                    ("ipc", Json::Num(s.ipc)),
-                                    ("count", Json::uint(s.count as u64)),
-                                ]),
-                            ));
-                        }
-                    }
-                    Json::obj(vec![
-                        ("t_useful", Json::Num(p.t_useful)),
-                        ("period_ps", Json::Num(p.period_ps)),
-                        ("classes", Json::obj(summaries)),
-                    ])
-                })
-                .collect();
-            let mut optima = Vec::new();
-            for &(key, class) in &classes {
-                if !sweep.series(class).is_empty() {
-                    let (t, bips) = sweep.optimum(class);
-                    optima.push((
-                        key,
-                        Json::obj(vec![("t_useful", Json::Num(t)), ("bips", Json::Num(bips))]),
-                    ));
-                }
-            }
-            let doc = Json::obj(vec![
-                ("schema_version", Json::uint(1)),
-                ("core", Json::str(core_key(req.core))),
-                ("overhead_fo4", Json::Num(req.overhead.get())),
-                (
-                    "params",
-                    Json::obj(vec![
-                        ("warmup", Json::uint(req.params.warmup)),
-                        ("measure", Json::uint(req.params.measure)),
-                        ("seed", Json::uint(req.params.seed)),
-                    ]),
-                ),
-                ("points", Json::Arr(points)),
-                ("optima", Json::obj(optima)),
-            ]);
-            Arc::new(doc.pretty())
+            Arc::new(self.sweep_body(req, false, &mut |_| {}))
         })
+    }
+
+    /// Renders the `/v1/sweep` body as an ordered fragment sequence —
+    /// preamble, one fragment per point, terminal summary — pushing each
+    /// fragment through `emit` the moment it exists and returning the
+    /// concatenation. The streamed and buffered responses are therefore
+    /// byte-identical by construction, and the assembled bytes match the
+    /// canonical [`Json::pretty`] rendering of the same document (pinned
+    /// by a unit test).
+    ///
+    /// Dense requests render `schema_version` 1 with points in grid
+    /// order; `progressive` additionally computes them one at a time so
+    /// the first fragment leaves before the grid completes. Adaptive
+    /// requests render `schema_version` 2 with points in *probe* order —
+    /// coarse pass first, refinements as they land — plus an `adaptive`
+    /// stats block in the tail.
+    pub fn sweep_body(
+        &self,
+        req: &SweepRequest,
+        progressive: bool,
+        emit: &mut dyn FnMut(&str),
+    ) -> String {
+        fn push(body: &mut String, emit: &mut dyn FnMut(&str), frag: &str) {
+            body.push_str(frag);
+            emit(frag);
+        }
+        let mut body = String::new();
+        match &req.adaptive {
+            None => {
+                push(&mut body, emit, &head_fragment(req, 1));
+                let sweep = if progressive {
+                    let mut points = Vec::with_capacity(req.points.len());
+                    for i in 0..req.points.len() {
+                        let mut round = self.points_at(req, false, &[i]);
+                        let point = round.pop().expect("one point per index");
+                        push(&mut body, emit, &point_fragment(&point, i == 0));
+                        points.push(point);
+                    }
+                    DepthSweep {
+                        core: req.core,
+                        overhead: req.overhead.get(),
+                        points,
+                    }
+                } else {
+                    let sweep = self.sweep(req, false);
+                    for (i, point) in sweep.points.iter().enumerate() {
+                        push(&mut body, emit, &point_fragment(point, i == 0));
+                    }
+                    sweep
+                };
+                push(&mut body, emit, &tail_fragment(optima_json(&sweep), None));
+            }
+            Some(cfg) => {
+                push(&mut body, emit, &head_fragment(req, 2));
+                let a = {
+                    let body = &mut body;
+                    let emit = &mut *emit;
+                    let mut emitted = 0usize;
+                    self.adaptive_sweep(req, false, cfg, &mut |_pi, point| {
+                        let frag = point_fragment(point, emitted == 0);
+                        body.push_str(&frag);
+                        emit(&frag);
+                        emitted += 1;
+                    })
+                };
+                push(
+                    &mut body,
+                    emit,
+                    &tail_fragment(optima_json(&a.sweep), Some(report::adaptive_stats_json(&a))),
+                );
+            }
+        }
+        body
     }
 
     /// `POST /v1/run` — one benchmark at one clock point.
@@ -808,5 +1153,132 @@ mod tests {
         assert_eq!(s.hits, 1, "the shared (6 FO4 × gzip) cell was reused");
         // One trace arena serves both sweeps.
         assert_eq!(engine.arenas.stats().misses, 1);
+    }
+
+    #[test]
+    fn validates_adaptive_mode_and_stream_fields() {
+        assert!(sweep_req(r#"{"mode":"fast"}"#).is_err(), "unknown mode");
+        assert!(sweep_req(r#"{"stream":"yes"}"#).is_err(), "non-bool stream");
+        // Planner knobs are planner parameters: rejected, not ignored,
+        // when the request is a dense sweep.
+        for knob in [
+            r#""tolerance":0.5"#,
+            r#""coarse_step":2"#,
+            r#""seed_clock":6"#,
+        ] {
+            let body = format!("{{{knob}}}");
+            assert!(sweep_req(&body).is_err(), "{knob} without adaptive mode");
+        }
+        assert!(
+            sweep_req(r#"{"mode":"adaptive","points":[8,6,4]}"#).is_err(),
+            "adaptive needs strictly increasing points"
+        );
+        assert!(sweep_req(r#"{"mode":"adaptive","tolerance":-1}"#).is_err());
+        assert!(sweep_req(r#"{"mode":"adaptive","seed_clock":0}"#).is_err());
+        assert!(sweep_req(r#"{"mode":"adaptive","seed_clock":400}"#).is_err());
+
+        let ok = sweep_req(
+            r#"{"mode":"adaptive","tolerance":0.5,"coarse_step":2,"seed_clock":6.5,"stream":true}"#,
+        )
+        .expect("full adaptive spec is valid");
+        let cfg = ok.adaptive.expect("adaptive config present");
+        assert_eq!(cfg.coarse_step, 2);
+        assert_eq!(cfg.tolerance, 0.5);
+        assert_eq!(cfg.seed, Some(6.5));
+        assert!(ok.stream);
+    }
+
+    #[test]
+    fn mode_addresses_the_cache_but_stream_does_not() {
+        let dense = sweep_req("{}").unwrap();
+        let explicit = sweep_req(r#"{"mode":"dense"}"#).unwrap();
+        assert_eq!(
+            dense.fingerprint("sweep"),
+            explicit.fingerprint("sweep"),
+            "dense is the default mode"
+        );
+        let adaptive = sweep_req(r#"{"mode":"adaptive"}"#).unwrap();
+        assert_ne!(dense.fingerprint("sweep"), adaptive.fingerprint("sweep"));
+        let tuned = sweep_req(r#"{"mode":"adaptive","tolerance":0.5}"#).unwrap();
+        assert_ne!(adaptive.fingerprint("sweep"), tuned.fingerprint("sweep"));
+        // Streaming is transport framing over the same bytes: a streamed
+        // sweep must warm the cache for its buffered twin.
+        let streamed = sweep_req(r#"{"stream":true}"#).unwrap();
+        assert_eq!(dense.fingerprint("sweep"), streamed.fingerprint("sweep"));
+    }
+
+    /// The load-bearing streaming invariant: the fragment sequence
+    /// concatenates to the buffered body, and that body is exactly the
+    /// canonical `Json::pretty` rendering of the document it describes —
+    /// so a streaming client and a buffered client can never disagree.
+    #[test]
+    fn sweep_fragments_assemble_to_the_canonical_pretty_document() {
+        let engine = Engine::new(16, 256, 8);
+        for body in [
+            r#"{"benchmarks":["164.gzip"],"points":[4,6,8],"warmup":1000,"measure":3000}"#,
+            r#"{"benchmarks":["164.gzip"],"points":[2,4,6,8,10],"warmup":1000,"measure":3000,"mode":"adaptive"}"#,
+        ] {
+            let req = sweep_req(body).unwrap();
+            let mut frags = Vec::new();
+            let streamed = engine.sweep_body(&req, true, &mut |f| frags.push(f.to_string()));
+            assert!(
+                frags.len() > req.points.len().min(2),
+                "per-point fragments, not one blob"
+            );
+            assert_eq!(frags.concat(), streamed, "emitted == returned");
+            let buffered = engine.sweep_body(&req, false, &mut |_| {});
+            assert_eq!(streamed, buffered, "streamed == buffered, byte for byte");
+            let doc = Json::parse(&buffered).expect("assembled body parses");
+            assert_eq!(doc.pretty(), buffered, "fragments == canonical pretty");
+        }
+    }
+
+    #[test]
+    fn adaptive_engine_finds_the_dense_optimum_with_fewer_cells() {
+        let engine = Engine::new(16, 256, 8);
+        let points: Vec<String> = (2..=16).map(|p| p.to_string()).collect();
+        let spec = format!(
+            r#"{{"benchmarks":["164.gzip"],"points":[{}],"warmup":1000,"measure":3000"#,
+            points.join(",")
+        );
+        let adaptive = sweep_req(&format!(r#"{spec},"mode":"adaptive"}}"#)).unwrap();
+        let cfg = adaptive.adaptive.expect("adaptive config");
+        let a = engine.adaptive_sweep(&adaptive, false, &cfg, &mut |_, _| {});
+        assert!(
+            a.cells_simulated * 2 < a.cells_dense,
+            "probed {} of {} cells",
+            a.cells_simulated,
+            a.cells_dense
+        );
+        assert_eq!(engine.cells.stats().misses as usize, a.cells_simulated);
+        assert_eq!(
+            engine.sweeps.adaptive.load(Ordering::Relaxed),
+            1,
+            "adaptive sweep counted"
+        );
+        assert_eq!(
+            engine.sweeps.cells_saved.load(Ordering::Relaxed) as usize,
+            a.cells_dense - a.cells_simulated
+        );
+
+        // The dense sweep over the same grid reuses every probed cell and
+        // lands on the same optimum.
+        let dense = sweep_req(&format!("{spec}}}")).unwrap();
+        let full = engine.sweep(&dense, false);
+        let s = engine.cells.stats();
+        assert_eq!(s.misses as usize, full.points.len(), "probed cells reused");
+        assert!(s.hits as usize >= a.cells_simulated);
+        let best = |sweep: &DepthSweep| {
+            sweep
+                .points
+                .iter()
+                .map(|p| {
+                    let bips = summarize(&p.outcomes, None, p.period_ps).unwrap().bips;
+                    (p.t_useful, bips)
+                })
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .unwrap()
+        };
+        assert_eq!(best(&a.sweep), best(&full), "identical optimum");
     }
 }

@@ -297,6 +297,92 @@ pub fn write_response(
     let _ = stream.flush();
 }
 
+/// Progressive response delivery over HTTP/1.1 chunked transfer encoding.
+///
+/// The streaming sweep endpoint produces its body incrementally — one
+/// fragment per completed sweep point — so it cannot declare a
+/// `Content-Length` up front. This writer sends the response head with
+/// `transfer-encoding: chunked`, then frames each fragment as one chunk
+/// (`<hex len>\r\n<data>\r\n`) and flushes it immediately, so the peer
+/// sees every fragment the moment it exists. [`finish`](Self::finish)
+/// sends the `0\r\n\r\n` terminator; a connection dropped before that is
+/// unambiguously truncated to the peer (unlike a `Connection: close`
+/// body, a chunked stream has an explicit end marker).
+///
+/// Write failures are sticky: after the first, every subsequent call is a
+/// cheap no-op and [`failed`](Self::failed) reports it, so callers can
+/// stop producing for a peer that went away.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    chunks: u64,
+    failed: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the writer. The head carries
+    /// `transfer-encoding: chunked` instead of `content-length`;
+    /// everything else matches [`write_response`].
+    pub fn start(stream: &'a mut TcpStream, status: u16, extra_headers: &[(&str, &str)]) -> Self {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+            reason(status),
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let failed = stream.write_all(head.as_bytes()).is_err() || stream.flush().is_err();
+        Self {
+            stream,
+            chunks: 0,
+            failed,
+        }
+    }
+
+    /// Frames `data` as one chunk and flushes it. Empty fragments are
+    /// skipped (a zero-length chunk would terminate the stream). Returns
+    /// `false` once the peer is unwritable.
+    pub fn chunk(&mut self, data: &[u8]) -> bool {
+        if self.failed || data.is_empty() {
+            return !self.failed;
+        }
+        let frame = format!("{:x}\r\n", data.len());
+        self.failed = self.stream.write_all(frame.as_bytes()).is_err()
+            || self.stream.write_all(data).is_err()
+            || self.stream.write_all(b"\r\n").is_err()
+            || self.stream.flush().is_err();
+        if !self.failed {
+            self.chunks += 1;
+        }
+        !self.failed
+    }
+
+    /// Sends the stream terminator and returns how many data chunks were
+    /// delivered.
+    pub fn finish(mut self) -> u64 {
+        if !self.failed {
+            self.failed =
+                self.stream.write_all(b"0\r\n\r\n").is_err() || self.stream.flush().is_err();
+        }
+        self.chunks
+    }
+
+    /// Whether a write has failed (the peer is gone; stop producing).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Data chunks delivered so far.
+    #[must_use]
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+}
+
 /// Renders the daemon's uniform error body.
 #[must_use]
 pub fn error_body(code: &str, message: &str) -> String {

@@ -43,8 +43,10 @@ use std::time::{Duration, Instant};
 use fo4depth_util::{Json, JsonLimits};
 
 use api::{ApiError, Engine, RequestLimits, RunRequest, SweepRequest};
-use http::{error_body, read_request, write_error, write_response, HttpError, Request};
-use metrics::{cache_json, store_json, Endpoint, RequestMetrics};
+use http::{
+    error_body, read_request, write_error, write_response, ChunkedWriter, HttpError, Request,
+};
+use metrics::{cache_json, store_json, sweeps_json, Endpoint, RequestMetrics};
 use store::{CellStore, FsyncPolicy, NoFault, StoreConfig};
 
 /// Everything configurable about one daemon instance.
@@ -362,6 +364,14 @@ fn handle_connection(state: &State, stream: &mut TcpStream) {
             return;
         }
     };
+    // The sweep endpoint owns its own delivery: with `"stream": true` the
+    // body leaves as chunked per-point fragments, which the buffered
+    // `route` plumbing cannot express.
+    if request.method == "POST" && request.path == "/v1/sweep" {
+        let status = handle_sweep(state, stream, &request);
+        record(state, Endpoint::Sweep, status, started);
+        return;
+    }
     let (endpoint, outcome) = route(state, &request);
     match outcome {
         Ok(body) => {
@@ -375,6 +385,66 @@ fn handle_connection(state: &State, stream: &mut TcpStream) {
     }
 }
 
+/// `POST /v1/sweep`, buffered or streamed. Returns the response status.
+fn handle_sweep(state: &State, stream: &mut TcpStream, request: &Request) -> u16 {
+    let req = match parse_body(state, request)
+        .and_then(|doc| to_http(SweepRequest::from_json(&doc, &state.config.limits)))
+    {
+        Ok(req) => req,
+        Err(e) => {
+            write_error(stream, &e);
+            return e.status;
+        }
+    };
+    if !req.stream {
+        let body = state.engine.sweep_summary(&req);
+        write_response(stream, 200, &[], body.as_bytes());
+        return 200;
+    }
+    // Streamed delivery bypasses the response tier's single-flight (the
+    // point is progress, not deduplication — and the cell tier still
+    // dedups the actual simulation work underneath). The assembled body
+    // is installed into the response cache afterwards, so a streamed
+    // sweep warms its buffered twin: `stream` is excluded from the
+    // fingerprint and both render the same bytes.
+    let mut writer = ChunkedWriter::start(stream, 200, &[]);
+    let body = state.engine.sweep_body(&req, true, &mut |frag| {
+        writer.chunk(frag.as_bytes());
+    });
+    let delivered = !writer.failed();
+    let chunks = writer.finish();
+    state.engine.sweeps.record_stream(chunks);
+    if delivered {
+        state
+            .engine
+            .responses
+            .insert(req.fingerprint("sweep"), Arc::new(body));
+    }
+    200
+}
+
+/// Parses a request body as JSON under the configured limits.
+fn parse_body(state: &State, request: &Request) -> Result<Json, HttpError> {
+    let json_limits = JsonLimits {
+        max_bytes: state.config.max_body,
+        ..JsonLimits::default()
+    };
+    Json::parse_bytes(&request.body, &json_limits).map_err(|e| HttpError {
+        status: 400,
+        code: "bad_json",
+        message: e.to_string(),
+    })
+}
+
+/// Lifts a validation failure into the HTTP error shape.
+fn to_http<T>(r: Result<T, ApiError>) -> Result<T, HttpError> {
+    r.map_err(|e| HttpError {
+        status: e.status,
+        code: e.code,
+        message: e.message,
+    })
+}
+
 fn record(state: &State, endpoint: Endpoint, status: u16, started: Instant) {
     let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     state.metrics.record(endpoint, status, elapsed_us);
@@ -386,15 +456,18 @@ fn route(state: &State, request: &Request) -> (Endpoint, Result<Arc<String>, Htt
         ("POST", "/v1/report") => (
             Endpoint::Report,
             simulate(state, request, |engine, doc, limits| {
-                Ok(engine.report(&SweepRequest::from_json(doc, limits)?))
+                let req = SweepRequest::from_json(doc, limits)?;
+                if req.stream {
+                    return Err(ApiError {
+                        status: 422,
+                        code: "invalid_request",
+                        message: "\"stream\" is only supported on /v1/sweep".to_string(),
+                    });
+                }
+                Ok(engine.report(&req))
             }),
         ),
-        ("POST", "/v1/sweep") => (
-            Endpoint::Sweep,
-            simulate(state, request, |engine, doc, limits| {
-                Ok(engine.sweep_summary(&SweepRequest::from_json(doc, limits)?))
-            }),
-        ),
+        // ("POST", "/v1/sweep") is intercepted in `handle_connection`.
         ("POST", "/v1/run") => (
             Endpoint::Run,
             simulate(state, request, |engine, doc, limits| {
@@ -433,20 +506,8 @@ fn simulate(
     request: &Request,
     f: impl FnOnce(&Engine, &Json, &RequestLimits) -> Result<Arc<String>, ApiError>,
 ) -> Result<Arc<String>, HttpError> {
-    let json_limits = JsonLimits {
-        max_bytes: state.config.max_body,
-        ..JsonLimits::default()
-    };
-    let doc = Json::parse_bytes(&request.body, &json_limits).map_err(|e| HttpError {
-        status: 400,
-        code: "bad_json",
-        message: e.to_string(),
-    })?;
-    f(&state.engine, &doc, &state.config.limits).map_err(|e| HttpError {
-        status: e.status,
-        code: e.code,
-        message: e.message,
-    })
+    let doc = parse_body(state, request)?;
+    to_http(f(&state.engine, &doc, &state.config.limits))
 }
 
 /// Renders the `/metrics` document.
@@ -501,6 +562,7 @@ fn metrics_body(state: &State) -> String {
                 tiers
             }),
         ),
+        ("sweeps", sweeps_json(&state.engine.sweeps)),
         ("endpoints", state.metrics.to_json()),
     ])
     .pretty()

@@ -160,6 +160,31 @@ impl RequestMetrics {
     }
 }
 
+/// Renders the engine's [`SweepCounters`](crate::api::SweepCounters) as
+/// the `sweeps` member of the `/metrics` document.
+#[must_use]
+pub fn sweeps_json(counters: &crate::api::SweepCounters) -> Json {
+    use std::sync::atomic::Ordering;
+    Json::obj(vec![
+        (
+            "adaptive",
+            Json::uint(counters.adaptive.load(Ordering::Relaxed)),
+        ),
+        (
+            "cells_saved",
+            Json::uint(counters.cells_saved.load(Ordering::Relaxed)),
+        ),
+        (
+            "streamed",
+            Json::uint(counters.streamed.load(Ordering::Relaxed)),
+        ),
+        (
+            "stream_chunks",
+            Json::uint(counters.stream_chunks.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
 /// Renders one cache's [`CacheStats`](crate::cache::CacheStats).
 #[must_use]
 pub fn cache_json(stats: &crate::cache::CacheStats) -> Json {

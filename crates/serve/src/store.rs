@@ -54,7 +54,7 @@
 //! inject `ENOSPC`, short writes, and fsync failures deterministically
 //! ([`ScriptedFaults`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -64,6 +64,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use fo4depth_pipeline::{Counters, SimResult, StallCause};
 use fo4depth_study::cells::CELL_SCHEMA;
 use fo4depth_study::sim::BenchOutcome;
+use fo4depth_study::sweep::CoreKind;
 use fo4depth_uarch::cache::CacheStats as CoreCacheStats;
 use fo4depth_uarch::observe::OccupancyHist;
 use fo4depth_uarch::BtbStats;
@@ -79,7 +80,9 @@ pub const INDEX_FILE: &str = "cells.idx";
 const LOG_MAGIC: &[u8; 8] = b"FO4DCELL";
 const IDX_MAGIC: &[u8; 8] = b"FO4DIDX\0";
 /// On-disk framing version (bump on incompatible layout changes).
-const LOG_FORMAT: u32 = 1;
+/// Format 2 added the core-tag byte to the outcome payload
+/// ([`encode_outcome_tagged`]); format-1 logs are reset at open.
+const LOG_FORMAT: u32 = 2;
 /// Log header length in bytes.
 pub const HEADER_LEN: u64 = 24;
 /// Record framing length (fingerprint + length + CRC) in bytes.
@@ -202,9 +205,32 @@ pub fn decode_record(bytes: &[u8]) -> Result<(u64, &[u8], usize), RecordError> {
 // ---------------------------------------------------------------------------
 
 /// Payload codec version (independent of the framing version).
-const OUTCOME_VERSION: u8 = 1;
+/// Version 2 inserted the core-tag byte after the version byte.
+const OUTCOME_VERSION: u8 = 2;
 /// Sanity cap on decoded occupancy-histogram lengths.
 const MAX_HIST_BUCKETS: u32 = 1 << 20;
+
+/// The core-tag byte: which core model produced a persisted outcome.
+/// The tag is provenance metadata for `fo4depth cache stat` — loads key
+/// on the fingerprint alone (which already covers the core), so tagged
+/// and untagged records interoperate.
+fn core_tag_byte(core: Option<CoreKind>) -> u8 {
+    match core {
+        None => 0,
+        Some(CoreKind::InOrder) => 1,
+        Some(CoreKind::OutOfOrder) => 2,
+    }
+}
+
+/// The `cache stat` spelling of a core tag.
+#[must_use]
+pub fn core_tag_key(tag: u8) -> &'static str {
+    match tag {
+        1 => "inorder",
+        2 => "ooo",
+        _ => "untagged",
+    }
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -226,10 +252,21 @@ fn put_hist(out: &mut Vec<u8>, hist: &OccupancyHist) {
 /// encoding is exact — every counter is a fixed-width integer — so
 /// decode ∘ encode is the identity and a warm-started daemon's responses
 /// are byte-identical to cold ones.
+///
+/// [`encode_outcome_tagged`] with no core tag.
 #[must_use]
 pub fn encode_outcome(outcome: &BenchOutcome) -> Vec<u8> {
+    encode_outcome_tagged(outcome, None)
+}
+
+/// [`encode_outcome`] carrying the producing core model in the payload's
+/// core-tag byte, so offline inspection can attribute entries per core
+/// without re-deriving specs.
+#[must_use]
+pub fn encode_outcome_tagged(outcome: &BenchOutcome, core: Option<CoreKind>) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
     out.push(OUTCOME_VERSION);
+    out.push(core_tag_byte(core));
     let name = outcome.name.as_bytes();
     assert!(name.len() <= usize::from(u16::MAX), "benchmark name length");
     out.extend_from_slice(&(name.len() as u16).to_le_bytes());
@@ -335,6 +372,11 @@ impl<'a> Reader<'a> {
 pub fn decode_outcome(bytes: &[u8]) -> Result<BenchOutcome, RecordError> {
     let mut r = Reader { bytes, pos: 0 };
     if r.u8()? != OUTCOME_VERSION {
+        return Err(RecordError::Corrupt);
+    }
+    if r.u8()? > 2 {
+        // Core tag: provenance only, but an impossible value means the
+        // payload is not ours.
         return Err(RecordError::Corrupt);
     }
     let name_len = usize::from(r.u16()?);
@@ -927,12 +969,21 @@ impl CellStore {
     /// Queues one outcome for persistence (write-behind). A full queue
     /// or a degraded store sheds the write and counts it; the caller's
     /// in-memory result is unaffected.
+    ///
+    /// [`put_tagged`](Self::put_tagged) with no core tag.
     pub fn put(&self, fingerprint: u64, outcome: &BenchOutcome) {
+        self.put_tagged(fingerprint, None, outcome);
+    }
+
+    /// [`put`](Self::put) with the producing core recorded in the
+    /// payload's core-tag byte, so `fo4depth cache stat` can attribute
+    /// entries per core.
+    pub fn put_tagged(&self, fingerprint: u64, core: Option<CoreKind>, outcome: &BenchOutcome) {
         if self.inner.degraded.load(Ordering::Relaxed) {
             self.inner.shed.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let record = encode_record(fingerprint, &encode_outcome(outcome));
+        let record = encode_record(fingerprint, &encode_outcome_tagged(outcome, core));
         let mut queue = self.inner.queue.lock().expect("queue lock");
         if queue.shutdown || queue.items.len() >= self.inner.config.queue_capacity {
             drop(queue);
@@ -1175,7 +1226,7 @@ fn sync_and_snapshot(inner: &Arc<Inner>) {
 // ---------------------------------------------------------------------------
 
 /// What walking a log (offline) found.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LogReport {
     /// File length in bytes.
     pub log_bytes: u64,
@@ -1192,6 +1243,29 @@ pub struct LogReport {
     pub corrupt_tail_bytes: u64,
     /// Live records whose payload failed to decode (verify mode only).
     pub payload_errors: u64,
+    /// Live entries per producing core ([`core_tag_key`] spelling).
+    pub by_core: BTreeMap<&'static str, u64>,
+    /// Live entries per benchmark name.
+    pub by_benchmark: BTreeMap<String, u64>,
+}
+
+/// Reads the cheap payload prefix — codec version, core tag, benchmark
+/// name — without touching the counter blocks.
+fn payload_prefix(payload: &[u8]) -> Option<(u8, String)> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    if r.u8().ok()? != OUTCOME_VERSION {
+        return None;
+    }
+    let tag = r.u8().ok()?;
+    if tag > 2 {
+        return None;
+    }
+    let len = usize::from(r.u16().ok()?);
+    let name = std::str::from_utf8(r.take(len).ok()?).ok()?;
+    Some((tag, name.to_string()))
 }
 
 /// Walks `cells.log` under `dir` and reports entries, bytes, and any
@@ -1231,12 +1305,19 @@ pub fn inspect(dir: &Path, decode_payloads: bool) -> io::Result<LogReport> {
     report.entries = live.len() as u64;
     for &(offset, len) in live.values() {
         report.live_bytes += len as u64;
-        if decode_payloads {
-            let (_, payload, _) =
-                decode_record(&bytes[offset..offset + len]).expect("walked record re-decodes");
-            if decode_outcome(payload).is_err() {
-                report.payload_errors += 1;
+        let (_, payload, _) =
+            decode_record(&bytes[offset..offset + len]).expect("walked record re-decodes");
+        match payload_prefix(payload) {
+            Some((tag, name)) => {
+                *report.by_core.entry(core_tag_key(tag)).or_insert(0) += 1;
+                *report.by_benchmark.entry(name).or_insert(0) += 1;
             }
+            None => {
+                *report.by_core.entry("unreadable").or_insert(0) += 1;
+            }
+        }
+        if decode_payloads && decode_outcome(payload).is_err() {
+            report.payload_errors += 1;
         }
     }
     Ok(report)
@@ -1430,6 +1511,45 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert_eq!(decode_outcome(&trailing).unwrap_err(), RecordError::Corrupt);
+    }
+
+    #[test]
+    fn tagged_outcome_codec_round_trips_and_inspect_counts_by_core_and_benchmark() {
+        // The core tag is provenance metadata riding ahead of the outcome
+        // fields; decoding ignores it, so tagged and untagged payloads
+        // yield the same outcome.
+        let outcome = sample_outcome(7, true);
+        for core in [None, Some(CoreKind::InOrder), Some(CoreKind::OutOfOrder)] {
+            let decoded =
+                decode_outcome(&encode_outcome_tagged(&outcome, core)).expect("round trip");
+            assert_eq!(decoded, outcome, "core {core:?}");
+        }
+
+        let dir = TempDir::new("fo4depth-store").expect("temp dir");
+        {
+            let store = open_store(dir.path());
+            store.put_tagged(1, Some(CoreKind::OutOfOrder), &sample_outcome(1, false));
+            store.put_tagged(2, Some(CoreKind::OutOfOrder), &sample_outcome(2, true));
+            store.put_tagged(3, Some(CoreKind::InOrder), &sample_outcome(3, false));
+            store.put(4, &sample_outcome(4, false));
+            // A superseding record must count once, under its final name.
+            store.put_tagged(1, Some(CoreKind::OutOfOrder), &sample_outcome(5, false));
+            store.flush();
+        }
+        let report = inspect(dir.path(), true).expect("inspect");
+        assert_eq!(report.entries, 4);
+        assert_eq!(report.payload_errors, 0);
+        assert_eq!(report.by_core.get("ooo"), Some(&2));
+        assert_eq!(report.by_core.get("inorder"), Some(&1));
+        assert_eq!(report.by_core.get("untagged"), Some(&1));
+        assert_eq!(report.by_core.values().sum::<u64>(), report.entries);
+        assert_eq!(report.by_benchmark.values().sum::<u64>(), report.entries);
+        assert_eq!(
+            report.by_benchmark.get("164.gzip-5"),
+            Some(&1),
+            "the winning record's benchmark is the one counted"
+        );
+        assert!(!report.by_benchmark.contains_key("164.gzip-1"));
     }
 
     #[test]

@@ -123,6 +123,19 @@ impl Json {
         out
     }
 
+    /// Renders the value as a fragment of a larger pretty document: two-space
+    /// indentation with inner lines padded as if the value sat `depth`
+    /// nesting levels deep, no leading padding on the first line and no
+    /// trailing newline. Writers that stream a pretty document piecewise
+    /// (container framing by hand, elements through this) produce bytes
+    /// identical to [`pretty`](Self::pretty) on the assembled whole.
+    #[must_use]
+    pub fn pretty_fragment(&self, depth: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), depth);
+        out
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
             Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use fo4depth::fo4::Fo4;
 use fo4depth::serve::store::{self, FsyncPolicy};
 use fo4depth::serve::{ServeConfig, Server};
+use fo4depth::study::adaptive::AdaptiveConfig;
 use fo4depth::study::experiments::registry;
 use fo4depth::study::floorplan::Floorplan;
 use fo4depth::study::latency::{table3, StructureSet};
@@ -32,8 +33,9 @@ use fo4depth::study::report;
 use fo4depth::study::scaler::ScaledMachine;
 use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
 use fo4depth::study::sweep::{
-    build_arenas, depth_sweep_arenas, depth_sweep_arenas_batched, depth_sweep_spec,
-    depth_sweep_spec_batched, standard_points, CoreKind, SweepSpec,
+    adaptive_sweep_arenas, adaptive_sweep_spec, auto_lanes, build_arenas, depth_sweep_arenas,
+    depth_sweep_arenas_batched, depth_sweep_spec, depth_sweep_spec_batched, standard_points,
+    AdaptiveSweep, CoreKind, SweepSpec,
 };
 use fo4depth::study::validation::{self, Bands};
 use fo4depth::util::args::{ArgError, Args};
@@ -48,7 +50,8 @@ fn usage() -> ExitCode {
            table3                          print the structure/operation latency table\n\
            sweep [--core ooo|inorder] [--overhead F] [--quick] [--warmup N]\n\
                  [--measure N] [--bench NAME[,NAME...]] [--csv] [--jobs N]\n\
-                 [--batch-lanes N|on|max|off]\n\
+                 [--batch-lanes N|on|max|auto|off] [--sweep-mode dense|adaptive]\n\
+                 [--tolerance FO4] [--coarse-step N] [--seed-clock FO4]\n\
            bench NAME [--t-useful F] [--warmup N] [--measure N]\n\
            record NAME COUNT [FILE]        capture a synthetic trace (default stdout)\n\
            replay FILE [--t-useful F]      run the out-of-order core on a trace file\n\
@@ -57,14 +60,18 @@ fn usage() -> ExitCode {
            experiments                     list the paper's experiments\n\
            report [--core ooo|inorder] [--bench NAME[,NAME...]] [--points F[,F...]]\n\
                   [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE] [--jobs N]\n\
-                  [--batch-lanes N|on|max|off]\n\
+                  [--batch-lanes N|on|max|auto|off] [--sweep-mode dense|adaptive]\n\
+                  [--tolerance FO4] [--coarse-step N] [--seed-clock FO4]\n\
                   emit a machine-readable JSON run report (counters + CPI stacks)\n\
            perf [--core ooo|inorder|both] [--quick] [--jobs N] [--out FILE]\n\
-                [--batch-lanes N|on|max|off]\n\
+                [--batch-lanes N|on|max|auto|off] [--sweep-mode dense|adaptive]\n\
+                [--tolerance FO4] [--coarse-step N] [--seed-clock FO4]\n\
                   time the fixed sweep workload (trace generation and\n\
                   simulation split out); emit a JSON bench report; unless\n\
                   --batch-lanes off, also time the lane-batched engine and\n\
-                  verify it against the scalar sweep bit-for-bit\n\
+                  verify it against the scalar sweep bit-for-bit; unless\n\
+                  --sweep-mode dense, also time the adaptive planner and\n\
+                  verify it lands on the dense optimum\n\
            serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
                  [--cell-cache N] [--max-body BYTES] [--timeout-ms N]\n\
                  [--deadline-ms N] [--cache-dir DIR] [--fsync always|batch|off]\n\
@@ -142,24 +149,117 @@ fn benches_from(args: &mut Args) -> Result<Vec<BenchProfile>, ArgError> {
     }
 }
 
-/// Parses `--batch-lanes N|on|max|off` into `Some(lane cap)` (batched) or
-/// `None` (the scalar reference path). `on` and `max` mean "all of a
-/// benchmark's clock points in one batch"; callers clamp the cap to the
-/// point count. `default` applies when the flag is absent.
-fn batch_lanes_from(args: &mut Args, default: Option<usize>) -> Result<Option<usize>, ArgError> {
+/// How `--batch-lanes` sizes the lane-batched engine's point batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneMode {
+    /// The scalar reference path.
+    Off,
+    /// All of a benchmark's clock points in one batch.
+    Max,
+    /// A fixed lane cap.
+    Fixed(usize),
+    /// The per-core measured-best cap ([`auto_lanes`]): every point for
+    /// the out-of-order core, at most four lanes for the in-order core.
+    Auto,
+}
+
+impl LaneMode {
+    /// The lane cap for one core's sweep over `points` clock points, or
+    /// `None` for the scalar path.
+    fn resolve(self, core: CoreKind, points: usize) -> Option<usize> {
+        match self {
+            LaneMode::Off => None,
+            LaneMode::Max => Some(points.max(1)),
+            LaneMode::Fixed(n) => Some(n.min(points.max(1))),
+            LaneMode::Auto => Some(auto_lanes(core, points)),
+        }
+    }
+}
+
+/// Parses `--batch-lanes N|on|max|auto|off`. `on` and `max` mean "all of a
+/// benchmark's clock points in one batch"; `auto` picks the per-core
+/// measured-best cap. `default` applies when the flag is absent.
+fn batch_lanes_from(args: &mut Args, default: LaneMode) -> Result<LaneMode, ArgError> {
     match args.take_opt::<String>("--batch-lanes")? {
         None => Ok(default),
         Some(v) => match v.as_str() {
-            "off" => Ok(None),
-            "on" | "max" => Ok(Some(usize::MAX)),
+            "off" => Ok(LaneMode::Off),
+            "on" | "max" => Ok(LaneMode::Max),
+            "auto" => Ok(LaneMode::Auto),
             n => match n.parse::<usize>() {
-                Ok(n) if n > 0 => Ok(Some(n)),
+                Ok(n) if n > 0 => Ok(LaneMode::Fixed(n)),
                 _ => Err(ArgError(format!(
-                    "bad --batch-lanes {n}; expected a positive lane count, on, max, or off"
+                    "bad --batch-lanes {n}; expected a positive lane count, on, max, auto, or off"
                 ))),
             },
         },
     }
+}
+
+/// Which planning strategy a sweep-shaped command uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepMode {
+    Dense,
+    Adaptive,
+}
+
+/// Parses `--sweep-mode dense|adaptive` plus the adaptive knobs
+/// (`--tolerance FO4`, `--coarse-step N`, `--seed-clock FO4`). The knobs
+/// are accepted — and validated — even in dense mode so scripts can flip
+/// modes without editing flags. `default` applies when the flag is absent
+/// (`sweep`/`report` default dense; `perf` defaults adaptive so the
+/// planner is benchmarked and verified on every run).
+fn sweep_mode_from(
+    args: &mut Args,
+    default: SweepMode,
+) -> Result<(SweepMode, AdaptiveConfig), ArgError> {
+    let mode = match args.take_opt::<String>("--sweep-mode")?.as_deref() {
+        None => default,
+        Some("dense") => SweepMode::Dense,
+        Some("adaptive") => SweepMode::Adaptive,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown sweep mode {other}; expected dense or adaptive"
+            )));
+        }
+    };
+    let mut config = AdaptiveConfig::default();
+    if let Some(t) = args.take_opt::<f64>("--tolerance")? {
+        if !t.is_finite() || t < 0.0 {
+            return Err(ArgError(format!(
+                "bad --tolerance {t}; expected a non-negative FO4 width"
+            )));
+        }
+        config.tolerance = t;
+    }
+    if let Some(s) = args.take_opt::<usize>("--coarse-step")? {
+        config.coarse_step = s;
+    }
+    if let Some(seed) = args.take_opt::<f64>("--seed-clock")? {
+        if !seed.is_finite() || seed <= 0.0 {
+            return Err(ArgError(format!(
+                "bad --seed-clock {seed}; expected a positive FO4 clock"
+            )));
+        }
+        config.seed = Some(seed);
+    }
+    Ok((mode, config))
+}
+
+/// One-line search summary printed (to stderr, so CSV/JSON pipes stay
+/// clean) after an adaptive run.
+fn adaptive_summary(a: &AdaptiveSweep) {
+    eprintln!(
+        "adaptive: probed {}/{} points in {} rounds (seed {:.2} FO4): \
+         {} cells simulated vs {} dense ({} saved)",
+        a.stats.probed_points,
+        a.stats.dense_points,
+        a.stats.rounds,
+        a.stats.seed_t,
+        a.cells_simulated,
+        a.cells_dense,
+        a.cells_dense.saturating_sub(a.cells_simulated)
+    );
 }
 
 fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
@@ -170,7 +270,8 @@ fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
     let quick = args.take_flag("--quick");
     // Default off: the scalar path is the reference implementation; the
     // batched engine is opt-in here (perf defaults it on and verifies).
-    let batch = batch_lanes_from(&mut args, None)?;
+    let batch = batch_lanes_from(&mut args, LaneMode::Off)?;
+    let (mode, adaptive_config) = sweep_mode_from(&mut args, SweepMode::Dense)?;
     let mut params = params_from(&mut args)?;
     if quick {
         params.warmup = params.warmup.min(2_000);
@@ -190,9 +291,17 @@ fn cmd_sweep(mut args: Args) -> Result<ExitCode, ArgError> {
         observed: false,
     };
     let pool = fo4depth::exec::global();
-    let sweep = match batch {
-        Some(lanes) => depth_sweep_spec_batched(&spec, pool, lanes.min(points.len()).max(1)),
-        None => depth_sweep_spec(&spec, pool),
+    let lanes = batch.resolve(core, points.len());
+    let sweep = match mode {
+        SweepMode::Dense => match lanes {
+            Some(lanes) => depth_sweep_spec_batched(&spec, pool, lanes),
+            None => depth_sweep_spec(&spec, pool),
+        },
+        SweepMode::Adaptive => {
+            let adaptive = adaptive_sweep_spec(&spec, pool, lanes, &adaptive_config);
+            adaptive_summary(&adaptive);
+            adaptive.sweep
+        }
     };
     if csv {
         print!("{}", render::sweep_csv(&sweep));
@@ -332,7 +441,8 @@ fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     let quick = args.take_flag("--quick");
     let out_path = args.take_opt::<String>("--out")?;
     // Default off, like `sweep`: the scalar path is the reference.
-    let batch = batch_lanes_from(&mut args, None)?;
+    let batch = batch_lanes_from(&mut args, LaneMode::Off)?;
+    let (mode, adaptive_config) = sweep_mode_from(&mut args, SweepMode::Dense)?;
     let mut params = params_from(&mut args)?;
     if quick {
         // Short intervals and three representative clock points: enough for
@@ -353,26 +463,35 @@ fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     };
     let profs = benches_from(&mut args)?;
     args.finish()?;
-    let doc = match batch {
-        Some(lanes) => {
-            let structures = StructureSet::alpha_21264();
-            let spec = SweepSpec {
-                core,
-                profiles: &profs,
-                params: &params,
-                structures: &structures,
-                overhead: Fo4::new(1.8),
-                points: &points,
-                observed: true,
-            };
-            let sweep = depth_sweep_spec_batched(
-                &spec,
-                fo4depth::exec::global(),
-                lanes.min(points.len()).max(1),
-            );
-            report::sweep_json(&sweep, &params)
+    if mode == SweepMode::Adaptive && !points.windows(2).all(|w| w[0].get() < w[1].get()) {
+        return Err(ArgError(
+            "--sweep-mode adaptive needs strictly increasing --points".into(),
+        ));
+    }
+    let lanes = batch.resolve(core, points.len());
+    let structures = StructureSet::alpha_21264();
+    let spec = SweepSpec {
+        core,
+        profiles: &profs,
+        params: &params,
+        structures: &structures,
+        overhead: Fo4::new(1.8),
+        points: &points,
+        observed: true,
+    };
+    let doc = match mode {
+        SweepMode::Adaptive => {
+            let adaptive =
+                adaptive_sweep_spec(&spec, fo4depth::exec::global(), lanes, &adaptive_config);
+            report::adaptive_sweep_json(&adaptive, &params)
         }
-        None => report::generate(core, &profs, &params, &points),
+        SweepMode::Dense => match lanes {
+            Some(lanes) => {
+                let sweep = depth_sweep_spec_batched(&spec, fo4depth::exec::global(), lanes);
+                report::sweep_json(&sweep, &params)
+            }
+            None => report::generate(core, &profs, &params, &points),
+        },
     };
     let text = doc.pretty();
     match out_path {
@@ -400,7 +519,10 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     let out_path = args.take_opt::<String>("--out")?;
     // Default on: every perf run times the batched engine alongside the
     // scalar reference and asserts they agree bit-for-bit.
-    let batch = batch_lanes_from(&mut args, Some(usize::MAX))?;
+    let batch = batch_lanes_from(&mut args, LaneMode::Max)?;
+    // Default adaptive: every perf run also times the adaptive planner and
+    // asserts it lands on the dense optimum. `--sweep-mode dense` skips it.
+    let (mode, adaptive_config) = sweep_mode_from(&mut args, SweepMode::Adaptive)?;
     let cores: Vec<CoreKind> = match args.take_opt::<String>("--core")?.as_deref() {
         None | Some("both") => vec![CoreKind::OutOfOrder, CoreKind::InOrder],
         Some("ooo") => vec![CoreKind::OutOfOrder],
@@ -457,8 +579,8 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
         let (opt_t, opt_bips) = sweep.optimum(None);
         total_cycles += cycles;
         total_rate = cycles as f64 / sim;
-        let batched = batch.map(|lanes| {
-            let lanes = lanes.min(points.len()).max(1);
+        let lanes = batch.resolve(core, points.len());
+        let batched = lanes.map(|lanes| {
             let batched_start = std::time::Instant::now();
             let batched_sweep = depth_sweep_arenas_batched(&spec, &arenas, pool, lanes);
             let batched_sim = batched_start.elapsed().as_secs_f64();
@@ -467,6 +589,20 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
                 "batched sweep diverged from the scalar reference"
             );
             (lanes, batched_sim)
+        });
+        // The adaptive planner re-runs the same sweep through the search:
+        // warm arenas, same lane shape, and a hard assert that it lands on
+        // the dense optimum bit-for-bit.
+        let adaptive = (mode == SweepMode::Adaptive).then(|| {
+            let adaptive_start = std::time::Instant::now();
+            let a = adaptive_sweep_arenas(&spec, &arenas, pool, lanes, &adaptive_config);
+            let adaptive_sim = adaptive_start.elapsed().as_secs_f64();
+            assert_eq!(
+                a.sweep.optimum(None),
+                sweep.optimum(None),
+                "adaptive sweep missed the dense optimum"
+            );
+            (a, adaptive_sim)
         });
         let mut fields = vec![
             (
@@ -482,6 +618,15 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
             fields.push(("batched_sim_seconds", Json::Num(batched_sim)));
             fields.push(("batch_lanes", Json::uint(lanes as u64)));
             fields.push(("batched_speedup", Json::Num(sim / batched_sim)));
+        }
+        if let Some((a, adaptive_sim)) = &adaptive {
+            fields.push(("adaptive_sim_seconds", Json::Num(*adaptive_sim)));
+            fields.push(("cells_simulated_dense", Json::uint(a.cells_dense as u64)));
+            fields.push((
+                "cells_simulated_adaptive",
+                Json::uint(a.cells_simulated as u64),
+            ));
+            fields.push(("adaptive_speedup", Json::Num(sim / adaptive_sim)));
         }
         fields.extend(vec![
             ("simulated_cycles", Json::uint(cycles)),
@@ -506,7 +651,7 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     }
     let wall = start.elapsed().as_secs_f64();
     let doc = Json::obj(vec![
-        ("schema_version", Json::Int(3)),
+        ("schema_version", Json::Int(4)),
         (
             "workload",
             Json::obj(vec![
@@ -659,6 +804,18 @@ fn cmd_cache(mut args: Args) -> Result<ExitCode, ArgError> {
         println!("  live entries    {}", r.entries);
         println!("  live bytes      {}", r.live_bytes);
         println!("  corrupt tail    {} bytes", r.corrupt_tail_bytes);
+        if !r.by_core.is_empty() {
+            println!("  cells by core");
+            for (core, n) in &r.by_core {
+                println!("    {core:<13} {n}");
+            }
+        }
+        if !r.by_benchmark.is_empty() {
+            println!("  cells by benchmark");
+            for (bench, n) in &r.by_benchmark {
+                println!("    {bench:<13} {n}");
+            }
+        }
     };
 
     match action.as_str() {

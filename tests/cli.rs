@@ -104,6 +104,36 @@ fn bench_runs_one_benchmark() {
 }
 
 #[test]
+fn adaptive_sweep_prints_probe_summary_and_rejects_bad_knobs() {
+    let (out, err, ok) = run(&[
+        "sweep",
+        "--bench",
+        "164.gzip",
+        "--quick",
+        "--sweep-mode",
+        "adaptive",
+        "--batch-lanes",
+        "auto",
+    ]);
+    assert!(ok, "adaptive sweep failed: {err}");
+    // The search summary goes to stderr so piped CSV/JSON stays clean.
+    assert!(err.contains("adaptive: probed"), "stderr: {err}");
+    assert!(err.contains("saved"), "stderr: {err}");
+    assert!(out.contains("t_useful"), "stdout: {out}");
+
+    let (_, err, ok) = run(&["sweep", "--sweep-mode", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown sweep mode"), "stderr: {err}");
+
+    let (_, err, ok) = run(&["sweep", "--batch-lanes", "-3"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--batch-lanes") || err.contains("unknown option"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
 fn bench_rejects_unknown_benchmark() {
     let (_, err, ok) = run(&["bench", "999.nope"]);
     assert!(!ok);

@@ -219,6 +219,54 @@ fn sigkilled_daemon_restarts_warm_with_byte_identical_responses() {
 }
 
 #[test]
+fn cache_stat_breaks_cells_down_by_core_and_benchmark() {
+    let dir = TempDir::new("fo4depth-cache-stat").expect("scratch dir");
+    {
+        let daemon = Daemon::spawn(dir.path());
+        let ooo = post(daemon.addr, "/v1/report", BODY);
+        assert_eq!(ooo.status, 200, "body: {}", ooo.body);
+        let inorder = post(
+            daemon.addr,
+            "/v1/report",
+            r#"{"core":"inorder","benchmarks":["181.mcf"],"points":[6],"warmup":1000,"measure":4000}"#,
+        );
+        assert_eq!(inorder.status, 200, "body: {}", inorder.body);
+        // `--fsync always`: appended counts are durable.
+        wait_for_counter(
+            daemon.addr,
+            &["caches", "persistent", "appended"],
+            CELLS + 1,
+        );
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fo4depth"))
+        .args([
+            "cache",
+            "stat",
+            "--cache-dir",
+            &dir.path().display().to_string(),
+        ])
+        .output()
+        .expect("cache stat runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cells by core"), "missing breakdown:\n{text}");
+    let line = |needle: &str| {
+        text.lines()
+            .find(|l| l.trim_start().starts_with(needle))
+            .unwrap_or_else(|| panic!("no {needle} line in:\n{text}"))
+    };
+    assert!(line("ooo").ends_with('2'), "two ooo cells:\n{text}");
+    assert!(line("inorder").ends_with('1'), "one inorder cell:\n{text}");
+    assert!(line("164.gzip").ends_with('2'), "two gzip cells:\n{text}");
+    assert!(line("181.mcf").ends_with('1'), "one mcf cell:\n{text}");
+}
+
+#[test]
 fn injected_faults_degrade_to_memory_only_with_correct_responses() {
     let dir = TempDir::new("fo4depth-faults").expect("scratch dir");
     let faults = ScriptedFaults::new();

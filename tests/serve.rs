@@ -25,8 +25,11 @@ use fo4depth::workload::profiles;
 #[test]
 fn report_is_byte_identical_to_offline_and_repeats_hit_the_cache() {
     let server = start(ServeConfig::default());
+    // Large enough a measure window that the miss costs solidly more than
+    // an HTTP round trip even when the suite's other servers share the CPU;
+    // the 10x hit-speedup assertion below is a ratio of these two.
     let body =
-        r#"{"benchmarks":["164.gzip","181.mcf"],"points":[4,6,8],"warmup":2000,"measure":8000}"#;
+        r#"{"benchmarks":["164.gzip","181.mcf"],"points":[4,6,8],"warmup":4000,"measure":40000}"#;
 
     let miss_start = Instant::now();
     let first = post(server.addr, "/v1/report", body);
@@ -53,8 +56,8 @@ fn report_is_byte_identical_to_offline_and_repeats_hit_the_cache() {
         profiles::by_name("181.mcf").expect("mcf"),
     ];
     let params = SimParams {
-        warmup: 2_000,
-        measure: 8_000,
+        warmup: 4_000,
+        measure: 40_000,
         seed: 1,
     };
     let points: Vec<Fo4> = [4.0, 6.0, 8.0].into_iter().map(Fo4::new).collect();
