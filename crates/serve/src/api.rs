@@ -59,6 +59,14 @@ impl ApiError {
             message: message.into(),
         }
     }
+
+    fn unsupported_schema(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            code: "unsupported_schema_version",
+            message: message.into(),
+        }
+    }
 }
 
 /// Validation bounds — the admission-control half that can be decided
@@ -262,6 +270,26 @@ impl<'a> Fields<'a> {
     fn get(&self, key: &str) -> Option<&'a Json> {
         debug_assert!(self.allowed.contains(&key));
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Rejects any request that declares a body schema this server does
+    /// not speak. Absent means version 1 (every historical client);
+    /// explicit `1` is accepted and — like the implicit default — is not
+    /// part of the request's canonical form, so it cannot split the
+    /// cache.
+    fn schema_version(&self) -> Result<(), ApiError> {
+        match self.get("schema_version") {
+            None => Ok(()),
+            Some(v) => match v.as_u64() {
+                Some(1) => Ok(()),
+                Some(n) => Err(ApiError::unsupported_schema(format!(
+                    "request schema_version {n} is not supported; this server speaks version 1"
+                ))),
+                None => Err(ApiError::unsupported_schema(
+                    "schema_version must be a non-negative integer",
+                )),
+            },
+        }
     }
 
     fn core(&self) -> Result<CoreKind, ApiError> {
@@ -477,6 +505,7 @@ impl SweepRequest {
         let fields = Fields::of(
             doc,
             &[
+                "schema_version",
                 "core",
                 "benchmarks",
                 "points",
@@ -491,6 +520,7 @@ impl SweepRequest {
                 "stream",
             ],
         )?;
+        fields.schema_version()?;
         let points = fields.points(limits)?;
         let adaptive = fields.adaptive(&points)?;
         Ok(Self {
@@ -573,6 +603,7 @@ impl RunRequest {
         let fields = Fields::of(
             doc,
             &[
+                "schema_version",
                 "core",
                 "benchmark",
                 "t_useful",
@@ -583,6 +614,7 @@ impl RunRequest {
                 "observed",
             ],
         )?;
+        fields.schema_version()?;
         let profile = match fields.get("benchmark") {
             Some(v) => Fields::benchmark(v)?,
             None => return Err(ApiError::invalid("benchmark is required")),
@@ -618,6 +650,135 @@ impl RunRequest {
             observed: self.observed,
             structures_tag: STRUCTURES_TAG,
         }
+    }
+}
+
+/// A validated `/v1/cells` request: a batch of cells sharing one
+/// simulation header (core, intervals, overhead, observed), varying only
+/// in benchmark and clock point. This is the shard-internal scatter
+/// shape — a router sends each shard exactly the cells it owns and reads
+/// back one binary outcome record per cell.
+#[derive(Debug, Clone)]
+pub struct CellsRequest {
+    /// The cells to resolve, in request order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl CellsRequest {
+    /// Validates a parsed request body into canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] naming the offending field.
+    pub fn from_json(doc: &Json, limits: &RequestLimits) -> Result<Self, ApiError> {
+        let fields = Fields::of(
+            doc,
+            &[
+                "schema_version",
+                "core",
+                "warmup",
+                "measure",
+                "seed",
+                "overhead",
+                "observed",
+                "cells",
+            ],
+        )?;
+        fields.schema_version()?;
+        let core = fields.core()?;
+        let params = fields.params(limits)?;
+        let overhead = fields.overhead()?;
+        let observed = match fields.get("observed") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(ApiError::invalid("observed must be a boolean")),
+        };
+        let Some(v) = fields.get("cells") else {
+            return Err(ApiError::invalid("cells is required"));
+        };
+        let items = v
+            .as_arr()
+            .ok_or_else(|| ApiError::invalid("cells must be an array of objects"))?;
+        if items.is_empty() {
+            return Err(ApiError::invalid("cells must not be empty"));
+        }
+        let cap = limits.max_points * limits.max_benchmarks;
+        if items.len() > cap {
+            return Err(ApiError::invalid(format!(
+                "{} cells exceeds the limit of {cap}",
+                items.len()
+            )));
+        }
+        let cells = items
+            .iter()
+            .map(|item| {
+                let entry = Fields::of(item, &["benchmark", "t_useful"])?;
+                let profile = match entry.get("benchmark") {
+                    Some(v) => Fields::benchmark(v)?,
+                    None => return Err(ApiError::invalid("each cell needs a benchmark")),
+                };
+                let t_useful = match entry.get("t_useful") {
+                    Some(v) => Fields::point(v)?,
+                    None => return Err(ApiError::invalid("each cell needs a t_useful")),
+                };
+                Ok(CellSpec {
+                    core,
+                    profile,
+                    t_useful,
+                    overhead,
+                    params,
+                    observed,
+                    structures_tag: STRUCTURES_TAG,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self { cells })
+    }
+
+    /// Renders the request body for a batch of cells sharing one header
+    /// — the exact inverse of [`Self::from_json`]: the shard-side parse
+    /// of this body yields cells with the same fingerprints (the JSON
+    /// layer renders floats shortest-round-trip, so every `f64` survives
+    /// the wire bit-exactly; a unit test pins the round trip).
+    ///
+    /// # Panics
+    ///
+    /// The batch must be non-empty and share one header; callers
+    /// (the router's scatter path) group by header first.
+    #[must_use]
+    pub fn body_for(cells: &[CellSpec]) -> String {
+        let head = &cells[0];
+        assert!(
+            cells.iter().all(|c| c.core == head.core
+                && c.overhead.get() == head.overhead.get()
+                && c.params == head.params
+                && c.observed == head.observed),
+            "a /v1/cells batch shares one simulation header"
+        );
+        Json::obj(vec![
+            ("schema_version", Json::uint(1)),
+            ("core", Json::str(core_key(head.core))),
+            ("warmup", Json::uint(head.params.warmup)),
+            ("measure", Json::uint(head.params.measure)),
+            ("seed", Json::uint(head.params.seed)),
+            ("overhead", Json::Num(head.overhead.get())),
+            ("observed", Json::Bool(head.observed)),
+            (
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("benchmark", Json::str(&c.profile.name)),
+                                ("t_useful", Json::Num(c.t_useful.get())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
     }
 }
 
@@ -658,6 +819,10 @@ pub struct Engine {
     /// Persistent tier under the cell LRU (read-through/write-behind);
     /// absent when the daemon runs without `--cache-dir`.
     store: Option<Arc<CellStore>>,
+    /// Shard tier between the caches and local simulation: when present
+    /// (router mode), cold cells scatter to their owning shards before
+    /// anything simulates locally.
+    upstream: Option<Arc<crate::router::Upstream>>,
 }
 
 impl Engine {
@@ -685,7 +850,24 @@ impl Engine {
             arenas: Cache::new(arena_entries),
             sweeps: SweepCounters::default(),
             store,
+            upstream: None,
         }
+    }
+
+    /// Converts this engine into a routing tier: cold cells scatter to
+    /// `upstream`'s shards instead of simulating locally (the local
+    /// engine remains the fallback of last resort when every responsible
+    /// shard is down).
+    #[must_use]
+    pub fn with_upstream(mut self, upstream: Arc<crate::router::Upstream>) -> Self {
+        self.upstream = Some(upstream);
+        self
+    }
+
+    /// The shard tier, when this engine is a router.
+    #[must_use]
+    pub fn upstream(&self) -> Option<&Arc<crate::router::Upstream>> {
+        self.upstream.as_ref()
     }
 
     /// The persistent cell tier, when configured.
@@ -713,6 +895,12 @@ impl Engine {
     /// arena and simulates. Freshly simulated outcomes are queued for
     /// persistence write-behind; the caller never waits on the disk.
     fn outcome(&self, cell: &CellSpec) -> Arc<BenchOutcome> {
+        // Router mode: a single cell is a scatter of one — the owning
+        // shard simulates, this process only places the result.
+        if self.upstream.is_some() {
+            let mut outcomes = self.fill_cells(std::slice::from_ref(cell));
+            return Arc::new(outcomes.pop().expect("one outcome per cell"));
+        }
         let fingerprint = cell.fingerprint();
         self.cells.get_or_compute_tiered(
             fingerprint,
@@ -751,7 +939,7 @@ impl Engine {
     /// the response tier; two *distinct* concurrent requests overlapping
     /// on a cold cell may both simulate it (the install is idempotent) —
     /// a deliberate trade for the batched fill's shared-arena pass.
-    fn sweep(&self, req: &SweepRequest, observed: bool) -> DepthSweep {
+    pub fn sweep(&self, req: &SweepRequest, observed: bool) -> DepthSweep {
         let cells = req.cells(observed);
         let outcomes = self.fill_cells(&cells);
         assemble_sweep(
@@ -764,9 +952,28 @@ impl Engine {
         )
     }
 
+    /// Installs one resolved outcome into the cache tiers (write-behind
+    /// into the persistent store, insert into the LRU).
+    fn install(&self, cell: &CellSpec, outcome: BenchOutcome) -> Arc<BenchOutcome> {
+        let fingerprint = cell.fingerprint();
+        let out = Arc::new(outcome);
+        if let Some(store) = &self.store {
+            store.put_tagged(fingerprint, Some(cell.core), &out);
+        }
+        self.cells.insert(fingerprint, Arc::clone(&out));
+        out
+    }
+
     /// Resolves every cell through the cache tiers, simulating only the
     /// cold remainder, and returns the outcomes positionally.
-    fn fill_cells(&self, cells: &[CellSpec]) -> Vec<BenchOutcome> {
+    ///
+    /// In router mode the cold remainder scatters to the shard tier
+    /// first — each cell to the shard that owns its fingerprint — and
+    /// only cells the tier could not resolve (every responsible shard
+    /// down past the retry budget) fall through to local simulation, so
+    /// a routed sweep degrades to single-node behaviour rather than
+    /// failing.
+    pub fn fill_cells(&self, cells: &[CellSpec]) -> Vec<BenchOutcome> {
         // Probe pass: LRU first (counting the hit/miss), then the
         // persistent tier, mirroring `outcome`'s tiering.
         let mut outcomes: Vec<Option<Arc<BenchOutcome>>> = cells
@@ -780,6 +987,29 @@ impl Engine {
                 })
             })
             .collect();
+        if let Some(upstream) = &self.upstream {
+            let cold: Vec<usize> = (0..cells.len())
+                .filter(|&i| outcomes[i].is_none())
+                .collect();
+            if !cold.is_empty() {
+                let specs: Vec<CellSpec> = cold.iter().map(|&i| cells[i].clone()).collect();
+                for (&i, fetched) in cold.iter().zip(upstream.fetch(&specs)) {
+                    if let Some(out) = fetched {
+                        outcomes[i] = Some(self.install(&cells[i], out));
+                    }
+                }
+            }
+        }
+        self.fill_local(cells, &mut outcomes);
+        outcomes
+            .into_iter()
+            .map(|o| (*o.expect("every cell probed, fetched, or batch-filled")).clone())
+            .collect()
+    }
+
+    /// Simulates every still-unresolved cell locally with the
+    /// lane-parallel batched engine, filling `outcomes` in place.
+    fn fill_local(&self, cells: &[CellSpec], outcomes: &mut [Option<Arc<BenchOutcome>>]) {
         // Group the cold cells by benchmark: cells of one benchmark share
         // an arena and a fetch plan, so each group is one lane batch (and
         // one pool task — results are positional, hence deterministic).
@@ -796,28 +1026,19 @@ impl Engine {
                 None => groups.push(vec![i]),
             }
         }
-        if !groups.is_empty() {
-            let filled = fo4depth_exec::global().map(&groups, |idxs| {
-                let group: Vec<CellSpec> = idxs.iter().map(|&i| cells[i].clone()).collect();
-                let arena = self.arena(&group[0].profile, &group[0].params);
-                fo4depth_study::cells::run_cell_group(&group, &self.structures, &arena)
-            });
-            for (idxs, outs) in groups.iter().zip(filled) {
-                for (&i, out) in idxs.iter().zip(outs) {
-                    let fingerprint = cells[i].fingerprint();
-                    let out = Arc::new(out);
-                    if let Some(store) = &self.store {
-                        store.put_tagged(fingerprint, Some(cells[i].core), &out);
-                    }
-                    self.cells.insert(fingerprint, Arc::clone(&out));
-                    outcomes[i] = Some(out);
-                }
+        if groups.is_empty() {
+            return;
+        }
+        let filled = fo4depth_exec::global().map(&groups, |idxs| {
+            let group: Vec<CellSpec> = idxs.iter().map(|&i| cells[i].clone()).collect();
+            let arena = self.arena(&group[0].profile, &group[0].params);
+            fo4depth_study::cells::run_cell_group(&group, &self.structures, &arena)
+        });
+        for (idxs, outs) in groups.iter().zip(filled) {
+            for (&i, out) in idxs.iter().zip(outs) {
+                outcomes[i] = Some(self.install(&cells[i], out));
             }
         }
-        outcomes
-            .into_iter()
-            .map(|o| (*o.expect("every cell probed or batch-filled")).clone())
-            .collect()
     }
 
     /// Simulates (or recalls) a subset of a sweep's grid points, given by
@@ -1231,6 +1452,72 @@ mod tests {
             let doc = Json::parse(&buffered).expect("assembled body parses");
             assert_eq!(doc.pretty(), buffered, "fragments == canonical pretty");
         }
+    }
+
+    #[test]
+    fn schema_version_one_is_accepted_and_others_rejected() {
+        assert!(sweep_req(r#"{"schema_version":1}"#).is_ok());
+        let err = sweep_req(r#"{"schema_version":2}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "unsupported_schema_version");
+        assert!(sweep_req(r#"{"schema_version":"1"}"#).is_err(), "non-int");
+        let err = RunRequest::from_json(
+            &Json::parse(r#"{"schema_version":7,"benchmark":"164.gzip"}"#).unwrap(),
+            &limits(),
+        )
+        .unwrap_err();
+        assert_eq!((err.status, err.code), (400, "unsupported_schema_version"));
+        // An explicit version 1 means exactly what the default means, so
+        // it must not split the response cache.
+        let implied = sweep_req("{}").unwrap();
+        let explicit = sweep_req(r#"{"schema_version":1}"#).unwrap();
+        assert_eq!(implied.fingerprint("sweep"), explicit.fingerprint("sweep"));
+    }
+
+    #[test]
+    fn cells_request_round_trips_fingerprints_bit_exactly() {
+        // Points chosen to exercise shortest-round-trip float rendering
+        // (an adaptive midpoint like 5.700000000000001 is the hard case).
+        let req = sweep_req(
+            r#"{"benchmarks":["164.gzip","176.gcc"],"points":[5.700000000000001,6.3],
+                "warmup":1000,"measure":3000,"overhead":1.55}"#,
+        )
+        .unwrap();
+        let cells = req.cells(false);
+        let body = CellsRequest::body_for(&cells);
+        let parsed = CellsRequest::from_json(&Json::parse(&body).expect("body parses"), &limits())
+            .expect("rendered body validates");
+        assert_eq!(parsed.cells.len(), cells.len());
+        for (sent, received) in cells.iter().zip(&parsed.cells) {
+            assert_eq!(sent.fingerprint(), received.fingerprint());
+        }
+    }
+
+    #[test]
+    fn cells_request_rejects_malformed_batches() {
+        let parse = |body: &str| {
+            CellsRequest::from_json(&Json::parse(body).expect("test body parses"), &limits())
+        };
+        assert!(parse("{}").is_err(), "cells is required");
+        assert!(parse(r#"{"cells":[]}"#).is_err(), "empty batch");
+        assert!(
+            parse(r#"{"cells":[{"benchmark":"164.gzip"}]}"#).is_err(),
+            "missing t_useful"
+        );
+        assert!(
+            parse(r#"{"cells":[{"t_useful":6}]}"#).is_err(),
+            "missing benchmark"
+        );
+        assert!(
+            parse(r#"{"cells":[{"benchmark":"164.gzip","t_useful":6,"extra":1}]}"#).is_err(),
+            "unknown cell field"
+        );
+        assert!(
+            parse(r#"{"schema_version":3,"cells":[{"benchmark":"164.gzip","t_useful":6}]}"#)
+                .is_err(),
+            "future schema"
+        );
+        assert!(parse(r#"{"cells":[{"benchmark":"164.gzip","t_useful":6}]}"#).is_ok());
     }
 
     #[test]

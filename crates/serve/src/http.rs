@@ -1,14 +1,20 @@
 //! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
 //!
 //! The daemon speaks exactly the subset its JSON API needs: `GET`/`POST`
-//! with `Content-Length` bodies, one request per connection
-//! (`Connection: close` on every response). What it is careful about is
-//! the untrusted edge: the header block and body are size-capped, reads
-//! carry the caller's socket timeout *and* a per-connection total-request
-//! deadline (a slowloris peer trickling one byte per read never times out
-//! any individual read, so the per-read timeout alone cannot bound how
-//! long a worker is held), and every malformed input maps to a structured
-//! error response instead of a panic or a hung worker.
+//! with `Content-Length` bodies. Connections close after one exchange by
+//! default; a peer that sends `Connection: keep-alive` explicitly opts
+//! into request pipelining on one socket (the router's upstream pool
+//! rides this), and the server echoes the choice so the peer always
+//! knows how the response is delimited. What the parser is careful about
+//! is the untrusted edge: the header block and body are size-capped,
+//! reads carry the caller's socket timeout *and* a per-connection
+//! total-request deadline (a slowloris peer trickling one byte per read
+//! never times out any individual read, so the per-read timeout alone
+//! cannot bound how long a worker is held), and every malformed input
+//! maps to a structured error response instead of a panic or a hung
+//! worker — except a peer that opens (or keeps open) a connection and
+//! goes away without sending a byte, which maps to the status-0
+//! [`CLOSED`] pseudo-error so the worker can drop the socket silently.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -22,6 +28,12 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Body read granularity; each chunk re-checks the request deadline.
 const BODY_CHUNK: usize = 8 * 1024;
 
+/// Pseudo-status marking a connection the peer closed (or left idle past
+/// its deadline) before sending any request bytes. Not an HTTP status:
+/// nothing can be written to such a peer, so callers drop the connection
+/// without a response or a metrics record.
+pub const CLOSED: u16 = 0;
+
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -31,6 +43,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the peer sent `Connection: keep-alive`, explicitly asking
+    /// to reuse this connection for another request. Default is close —
+    /// existing read-to-end clients stay correct.
+    pub keep_alive: bool,
 }
 
 /// A framing failure, carrying the status code the peer should see.
@@ -142,6 +158,7 @@ pub fn read_request(
     }
 
     let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -152,6 +169,9 @@ pub fn read_request(
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
         match name.as_str() {
+            "connection" => {
+                keep_alive = value.eq_ignore_ascii_case("keep-alive");
+            }
             "content-length" => {
                 let n: usize = value.parse().map_err(|_| {
                     HttpError::new(400, "bad_request", "unparseable content-length")
@@ -211,6 +231,7 @@ pub fn read_request(
         method: method.to_string(),
         path: path.to_string(),
         body,
+        keep_alive,
     })
 }
 
@@ -223,10 +244,20 @@ pub fn read_request(
 fn read_head(stream: &mut TcpStream, deadline: &Deadline) -> Result<Vec<u8>, HttpError> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
+    // Until the first byte arrives there is no request: a close, timeout,
+    // or spent deadline on an empty head is the peer going away (or a
+    // kept-alive connection idling out), reported as `CLOSED`, never as a
+    // response-worthy error.
+    let closed = || HttpError::new(CLOSED, "closed", "peer closed before sending a request");
     loop {
-        deadline.check(stream)?;
+        if let Err(e) = deadline.check(stream) {
+            return Err(if head.is_empty() { closed() } else { e });
+        }
         match stream.read(&mut byte) {
             Ok(0) => {
+                if head.is_empty() {
+                    return Err(closed());
+                }
                 return Err(HttpError::new(
                     400,
                     "bad_request",
@@ -247,7 +278,12 @@ fn read_head(stream: &mut TcpStream, deadline: &Deadline) -> Result<Vec<u8>, Htt
                     ));
                 }
             }
-            Err(e) => return Err(deadline.read_error("head read", &e)),
+            Err(e) => {
+                if head.is_empty() {
+                    return Err(closed());
+                }
+                return Err(deadline.read_error("head read", &e));
+            }
         }
     }
 }
@@ -271,19 +307,34 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response and flushes. Errors are swallowed: the peer
-/// may have gone away, and the worker's next action is closing the
-/// connection either way.
+/// Writes one JSON response and flushes, closing the connection after.
+/// Errors are swallowed: the peer may have gone away, and the worker's
+/// next action is closing the connection either way.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &[u8],
 ) {
+    write_response_conn(stream, status, extra_headers, body, false);
+}
+
+/// [`write_response`] with an explicit connection disposition: the
+/// response says `connection: keep-alive` when `keep_alive`, telling the
+/// peer the socket stays open for another request after this
+/// content-length delimited body.
+pub fn write_response_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -323,9 +374,24 @@ impl<'a> ChunkedWriter<'a> {
     /// `transfer-encoding: chunked` instead of `content-length`;
     /// everything else matches [`write_response`].
     pub fn start(stream: &'a mut TcpStream, status: u16, extra_headers: &[(&str, &str)]) -> Self {
+        Self::start_conn(stream, status, extra_headers, "application/json", false)
+    }
+
+    /// [`start`](Self::start) with an explicit content type and
+    /// connection disposition — the `0\r\n\r\n` terminator delimits a
+    /// chunked body exactly, so a kept-alive connection is reusable the
+    /// moment [`finish`](Self::finish) succeeds.
+    pub fn start_conn(
+        stream: &'a mut TcpStream,
+        status: u16,
+        extra_headers: &[(&str, &str)],
+        content_type: &str,
+        keep_alive: bool,
+    ) -> Self {
         let mut head = format!(
-            "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
             reason(status),
+            if keep_alive { "keep-alive" } else { "close" }
         );
         for (name, value) in extra_headers {
             head.push_str(name);
@@ -360,14 +426,15 @@ impl<'a> ChunkedWriter<'a> {
         !self.failed
     }
 
-    /// Sends the stream terminator and returns how many data chunks were
-    /// delivered.
-    pub fn finish(mut self) -> u64 {
+    /// Sends the stream terminator. Returns how many data chunks were
+    /// delivered and whether the whole stream (terminator included)
+    /// reached the peer — the precondition for reusing the connection.
+    pub fn finish(mut self) -> (u64, bool) {
         if !self.failed {
             self.failed =
                 self.stream.write_all(b"0\r\n\r\n").is_err() || self.stream.flush().is_err();
         }
-        self.chunks
+        (self.chunks, !self.failed)
     }
 
     /// Whether a write has failed (the peer is gone; stop producing).

@@ -28,8 +28,10 @@
 
 pub mod api;
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod router;
 pub mod store;
 
 use std::collections::VecDeque;
@@ -42,11 +44,12 @@ use std::time::{Duration, Instant};
 
 use fo4depth_util::{Json, JsonLimits};
 
-use api::{ApiError, Engine, RequestLimits, RunRequest, SweepRequest};
+use api::{ApiError, CellsRequest, Engine, RequestLimits, RunRequest, SweepRequest};
 use http::{
     error_body, read_request, write_error, write_response, ChunkedWriter, HttpError, Request,
 };
 use metrics::{cache_json, store_json, sweeps_json, Endpoint, RequestMetrics};
+use router::{Upstream, UpstreamConfig};
 use store::{CellStore, FsyncPolicy, NoFault, StoreConfig};
 
 /// Everything configurable about one daemon instance.
@@ -80,6 +83,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Durability policy for persistent-cache appends.
     pub fsync: FsyncPolicy,
+    /// Shard addresses (`host:port`). Empty means single-node serving;
+    /// non-empty turns this instance into a router (`fo4depth route`)
+    /// that scatters cold cells to the owning shards.
+    pub shards: Vec<String>,
+    /// Shard-tier tuning; consulted only when `shards` is non-empty.
+    pub upstream: UpstreamConfig,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +106,8 @@ impl Default for ServeConfig {
             limits: RequestLimits::default(),
             cache_dir: None,
             fsync: FsyncPolicy::default(),
+            shards: Vec::new(),
+            upstream: UpstreamConfig::default(),
         }
     }
 }
@@ -190,23 +201,7 @@ impl Server {
     /// Returns the bind error (address in use, permission, …).
     pub fn bind(config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
-        // Opening the store recovers whatever a previous process left:
-        // corruption is truncated and counted, never fatal. Only genuine
-        // environment failures (unreachable directory) propagate.
-        let cell_store = match &config.cache_dir {
-            Some(dir) => {
-                let mut store_config = StoreConfig::new(dir);
-                store_config.fsync = config.fsync;
-                Some(Arc::new(CellStore::open(store_config, Arc::new(NoFault))?))
-            }
-            None => None,
-        };
-        let engine = Engine::with_store(
-            config.response_entries,
-            config.cell_entries,
-            config.arena_entries,
-            cell_store,
-        );
+        let engine = build_engine(&config)?;
         Ok(Self {
             listener,
             state: Arc::new(State {
@@ -252,6 +247,30 @@ impl Server {
         // pure blocking accept would pin us until the next connection.
         self.listener.set_nonblocking(true)?;
 
+        // Router mode: a prober thread keeps the per-shard liveness
+        // flags fresh so the scatter path prefers shards known to be up.
+        let prober = self.state.engine.upstream().map(|_| {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("serve-prober".to_string())
+                .spawn(move || {
+                    let upstream = state.engine.upstream().expect("router state");
+                    while !state.shutting_down() {
+                        upstream.probe();
+                        // Sleep in short steps so shutdown is not held up
+                        // by the probe interval.
+                        let interval = upstream.probe_interval();
+                        let mut slept = Duration::ZERO;
+                        while slept < interval && !state.shutting_down() {
+                            let step = Duration::from_millis(50).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                    }
+                })
+                .expect("spawn shard prober")
+        });
+
         let workers: Vec<_> = (0..self.state.config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&self.state);
@@ -282,6 +301,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(p) = prober {
+            let _ = p.join();
+        }
         // With the workers gone no new cell outcomes can be produced;
         // drain the write-behind queue so a clean shutdown leaves every
         // computed cell (and a fresh sidecar index) on disk.
@@ -290,6 +312,41 @@ impl Server {
         }
         Ok(())
     }
+}
+
+/// Builds the engine a [`ServeConfig`] describes — cache tiers, optional
+/// persistent store, optional shard tier. Shared by [`Server::bind`] and
+/// embedded callers (the `fo4depth perf` shard harness drives a router
+/// engine directly, without a listener).
+///
+/// Opening the store recovers whatever a previous process left:
+/// corruption is truncated and counted, never fatal.
+///
+/// # Errors
+///
+/// Genuine store-environment failures (unreachable cache directory).
+pub fn build_engine(config: &ServeConfig) -> io::Result<Engine> {
+    let cell_store = match &config.cache_dir {
+        Some(dir) => {
+            let mut store_config = StoreConfig::new(dir);
+            store_config.fsync = config.fsync;
+            Some(Arc::new(CellStore::open(store_config, Arc::new(NoFault))?))
+        }
+        None => None,
+    };
+    let mut engine = Engine::with_store(
+        config.response_entries,
+        config.cell_entries,
+        config.arena_entries,
+        cell_store,
+    );
+    if !config.shards.is_empty() {
+        engine = engine.with_upstream(Arc::new(Upstream::new(
+            config.shards.clone(),
+            config.upstream.clone(),
+        )));
+    }
+    Ok(engine)
 }
 
 /// Admits a connection into the bounded queue or sheds it with `429`.
@@ -353,53 +410,85 @@ fn worker_loop(state: &Arc<State>) {
     }
 }
 
-/// Reads, routes, answers, and records one request.
+/// Reads, routes, answers, and records requests on one connection until
+/// it closes. A connection serves one request and closes by default; a
+/// peer that sent `Connection: keep-alive` loops for the next request
+/// after each successful response (the router's upstream pool rides
+/// this), with a fresh read deadline per request. Error responses always
+/// close — an errored exchange leaves no framing guarantees worth
+/// preserving.
 fn handle_connection(state: &State, stream: &mut TcpStream) {
-    let started = Instant::now();
-    let request = match read_request(stream, state.config.max_body, state.config.request_deadline) {
-        Ok(r) => r,
-        Err(e) => {
-            write_error(stream, &e);
-            record(state, Endpoint::Other, e.status, started);
+    loop {
+        let started = Instant::now();
+        let request =
+            match read_request(stream, state.config.max_body, state.config.request_deadline) {
+                Ok(r) => r,
+                Err(e) => {
+                    // `CLOSED` is the peer going away between (or before)
+                    // requests: nothing to answer, nothing to record.
+                    if e.status != http::CLOSED {
+                        write_error(stream, &e);
+                        record(state, Endpoint::Other, e.status, started);
+                    }
+                    return;
+                }
+            };
+        // During drain, answer the in-flight request but drop the
+        // keep-alive so the connection (and its worker) winds down.
+        let keep = request.keep_alive && !state.shutting_down();
+        // The sweep and cells endpoints own their own delivery: their
+        // bodies can leave as chunked fragments, which the buffered
+        // `route` plumbing cannot express.
+        let alive = if request.method == "POST" && request.path == "/v1/sweep" {
+            let (status, alive) = handle_sweep(state, stream, &request, keep);
+            record(state, Endpoint::Sweep, status, started);
+            alive
+        } else if request.method == "POST" && request.path == "/v1/cells" {
+            let (status, alive) = handle_cells(state, stream, &request, keep);
+            record(state, Endpoint::Cells, status, started);
+            alive
+        } else {
+            let (endpoint, outcome) = route(state, &request);
+            match outcome {
+                Ok(body) => {
+                    http::write_response_conn(stream, 200, &[], body.as_bytes(), keep);
+                    record(state, endpoint, 200, started);
+                    keep
+                }
+                Err(e) => {
+                    write_error(stream, &e);
+                    record(state, endpoint, e.status, started);
+                    false
+                }
+            }
+        };
+        if !alive {
             return;
-        }
-    };
-    // The sweep endpoint owns its own delivery: with `"stream": true` the
-    // body leaves as chunked per-point fragments, which the buffered
-    // `route` plumbing cannot express.
-    if request.method == "POST" && request.path == "/v1/sweep" {
-        let status = handle_sweep(state, stream, &request);
-        record(state, Endpoint::Sweep, status, started);
-        return;
-    }
-    let (endpoint, outcome) = route(state, &request);
-    match outcome {
-        Ok(body) => {
-            write_response(stream, 200, &[], body.as_bytes());
-            record(state, endpoint, 200, started);
-        }
-        Err(e) => {
-            write_error(stream, &e);
-            record(state, endpoint, e.status, started);
         }
     }
 }
 
-/// `POST /v1/sweep`, buffered or streamed. Returns the response status.
-fn handle_sweep(state: &State, stream: &mut TcpStream, request: &Request) -> u16 {
+/// `POST /v1/sweep`, buffered or streamed. Returns the response status
+/// and whether the connection remains reusable.
+fn handle_sweep(
+    state: &State,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> (u16, bool) {
     let req = match parse_body(state, request)
         .and_then(|doc| to_http(SweepRequest::from_json(&doc, &state.config.limits)))
     {
         Ok(req) => req,
         Err(e) => {
             write_error(stream, &e);
-            return e.status;
+            return (e.status, false);
         }
     };
     if !req.stream {
         let body = state.engine.sweep_summary(&req);
-        write_response(stream, 200, &[], body.as_bytes());
-        return 200;
+        http::write_response_conn(stream, 200, &[], body.as_bytes(), keep);
+        return (200, keep);
     }
     // Streamed delivery bypasses the response tier's single-flight (the
     // point is progress, not deduplication — and the cell tier still
@@ -407,12 +496,12 @@ fn handle_sweep(state: &State, stream: &mut TcpStream, request: &Request) -> u16
     // is installed into the response cache afterwards, so a streamed
     // sweep warms its buffered twin: `stream` is excluded from the
     // fingerprint and both render the same bytes.
-    let mut writer = ChunkedWriter::start(stream, 200, &[]);
+    let mut writer = ChunkedWriter::start_conn(stream, 200, &[], "application/json", keep);
     let body = state.engine.sweep_body(&req, true, &mut |frag| {
         writer.chunk(frag.as_bytes());
     });
     let delivered = !writer.failed();
-    let chunks = writer.finish();
+    let (chunks, finished) = writer.finish();
     state.engine.sweeps.record_stream(chunks);
     if delivered {
         state
@@ -420,7 +509,42 @@ fn handle_sweep(state: &State, stream: &mut TcpStream, request: &Request) -> u16
             .responses
             .insert(req.fingerprint("sweep"), Arc::new(body));
     }
-    200
+    (200, keep && finished)
+}
+
+/// `POST /v1/cells` — the shard-internal scatter endpoint. The request
+/// names a batch of cells; the response is the store codec's binary
+/// framing ([`store::encode_record`] around a tagged outcome payload),
+/// one CRC-guarded record per cell in request order, streamed as one
+/// chunk per record. Routers decode with [`store::decode_record`] /
+/// [`store::decode_outcome`] — the exact all-integer codec the
+/// persistence tier already proves byte-faithful — so a gathered outcome
+/// is bit-identical to a locally simulated one.
+fn handle_cells(
+    state: &State,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> (u16, bool) {
+    let req = match parse_body(state, request)
+        .and_then(|doc| to_http(CellsRequest::from_json(&doc, &state.config.limits)))
+    {
+        Ok(req) => req,
+        Err(e) => {
+            write_error(stream, &e);
+            return (e.status, false);
+        }
+    };
+    let outcomes = state.engine.fill_cells(&req.cells);
+    let mut writer = ChunkedWriter::start_conn(stream, 200, &[], "application/octet-stream", keep);
+    for (cell, outcome) in req.cells.iter().zip(&outcomes) {
+        let payload = store::encode_outcome_tagged(outcome, Some(cell.core));
+        if !writer.chunk(&store::encode_record(cell.fingerprint(), &payload)) {
+            break;
+        }
+    }
+    let (_, finished) = writer.finish();
+    (200, keep && finished)
 }
 
 /// Parses a request body as JSON under the configured limits.
@@ -514,7 +638,7 @@ fn simulate(
 fn metrics_body(state: &State) -> String {
     let queue_depth = state.queue.lock().expect("queue lock").len();
     let pool = fo4depth_exec::global().stats();
-    Json::obj(vec![
+    let mut doc = vec![
         ("schema_version", Json::uint(1)),
         (
             "queue",
@@ -563,7 +687,12 @@ fn metrics_body(state: &State) -> String {
             }),
         ),
         ("sweeps", sweeps_json(&state.engine.sweeps)),
-        ("endpoints", state.metrics.to_json()),
-    ])
-    .pretty()
+    ];
+    // Router mode: the shard tier's per-shard routing counters and
+    // failover accounting join the document.
+    if let Some(upstream) = state.engine.upstream() {
+        doc.push(("router", upstream.metrics_json()));
+    }
+    doc.push(("endpoints", state.metrics.to_json()));
+    Json::obj(doc).pretty()
 }

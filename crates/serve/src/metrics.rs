@@ -23,6 +23,8 @@ pub enum Endpoint {
     Sweep,
     /// `POST /v1/run`.
     Run,
+    /// `POST /v1/cells` (the shard-internal scatter endpoint).
+    Cells,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
@@ -32,10 +34,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Report,
         Endpoint::Sweep,
         Endpoint::Run,
+        Endpoint::Cells,
         Endpoint::Metrics,
         Endpoint::Health,
         Endpoint::Other,
@@ -46,6 +49,7 @@ impl Endpoint {
             Endpoint::Report => "report",
             Endpoint::Sweep => "sweep",
             Endpoint::Run => "run",
+            Endpoint::Cells => "cells",
             Endpoint::Metrics => "metrics",
             Endpoint::Health => "healthz",
             Endpoint::Other => "other",
@@ -57,9 +61,10 @@ impl Endpoint {
             Endpoint::Report => 0,
             Endpoint::Sweep => 1,
             Endpoint::Run => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Health => 4,
-            Endpoint::Other => 5,
+            Endpoint::Cells => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Health => 5,
+            Endpoint::Other => 6,
         }
     }
 }
@@ -83,7 +88,7 @@ impl EndpointCounters {
 
 /// Request counters for every endpoint, behind one short-held lock.
 pub struct RequestMetrics {
-    endpoints: Mutex<[EndpointCounters; 6]>,
+    endpoints: Mutex<[EndpointCounters; Endpoint::ALL.len()]>,
 }
 
 impl Default for RequestMetrics {
@@ -97,7 +102,7 @@ impl RequestMetrics {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            endpoints: Mutex::new([EndpointCounters::ZERO; 6]),
+            endpoints: Mutex::new([EndpointCounters::ZERO; Endpoint::ALL.len()]),
         }
     }
 

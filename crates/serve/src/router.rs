@@ -1,0 +1,468 @@
+//! The shard tier: consistent-hash scatter/gather of sweep cells across
+//! `fo4depth serve` shards.
+//!
+//! A router is an ordinary [`Engine`](crate::api::Engine) whose cold
+//! cells resolve over the network instead of locally: each cell's FNV-1a
+//! fingerprint — the same content address the cache tiers and the
+//! persistent store already key on — places it on a
+//! [`HashRing`], and the owning shard simulates it via `POST /v1/cells`.
+//! The gather side decodes the store codec's CRC-guarded binary records,
+//! so a routed outcome is bit-identical to a locally simulated one, and
+//! the assembled sweep is byte-identical to single-node serving by
+//! construction.
+//!
+//! Failure handling is cell-granular: a shard that dies mid-stream
+//! forfeits only its not-yet-delivered cells, which retry (with backoff,
+//! under a bounded budget) on the ring's fallback shards; whatever the
+//! whole tier cannot resolve falls through to the router's embedded
+//! engine. A routed sweep therefore degrades toward single-node
+//! behaviour rather than failing.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use fo4depth_study::cells::CellSpec;
+use fo4depth_study::sim::BenchOutcome;
+use fo4depth_study::sweep::CoreKind;
+use fo4depth_util::hash::{Fnv64, HashRing};
+use fo4depth_util::Json;
+
+use crate::api::CellsRequest;
+use crate::client::{ConnPool, Connection};
+use crate::store;
+
+/// Tuning for the shard tier.
+#[derive(Debug, Clone)]
+pub struct UpstreamConfig {
+    /// Virtual nodes per shard on the ring.
+    pub ring_replicas: usize,
+    /// Persistent-connection cap per shard — the hard bound on in-flight
+    /// scatter requests one router places on one shard.
+    pub connections: usize,
+    /// Extra fetch attempts after the first, per cell group.
+    pub retries: usize,
+    /// Backoff before retry `n` (scaled linearly by `n`).
+    pub backoff: Duration,
+    /// TCP connect budget per dial (also the health-probe budget).
+    pub connect_timeout: Duration,
+    /// Per-I/O budget on scatter requests; the longest single wait is
+    /// the response head, which arrives once the shard's batch finishes.
+    pub io_timeout: Duration,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+}
+
+impl Default for UpstreamConfig {
+    fn default() -> Self {
+        Self {
+            ring_replicas: 64,
+            connections: 2,
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(120),
+            probe_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One shard: its connection pool, liveness flag, and counters.
+struct Shard {
+    addr: String,
+    pool: ConnPool,
+    /// Last known liveness: cleared by a failed fetch or probe, restored
+    /// by a passing probe. Purely an ordering hint — a down-flagged
+    /// shard is skipped while alternatives exist, never forgotten.
+    up: AtomicBool,
+    requests: AtomicU64,
+    records: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// The scatter/gather tier over a fixed set of shards.
+pub struct Upstream {
+    ring: HashRing,
+    shards: Vec<Shard>,
+    config: UpstreamConfig,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    local_fills: AtomicU64,
+    unknown_records: AtomicU64,
+}
+
+/// The shared simulation header of one cell — every cell of one
+/// `/v1/cells` batch must agree on it, so it subdivides scatter groups.
+fn header_key(cell: &CellSpec) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(match cell.core {
+        CoreKind::InOrder => 0,
+        CoreKind::OutOfOrder => 1,
+    });
+    h.write_f64(cell.overhead.get());
+    h.write_u64(cell.params.warmup);
+    h.write_u64(cell.params.measure);
+    h.write_u64(cell.params.seed);
+    h.write_u64(u64::from(cell.observed));
+    h.finish()
+}
+
+/// Places gathered `(fingerprint, outcome)` records into their cells'
+/// positional slots. Order-independent and duplicate-tolerant — a record
+/// fills every cell with its fingerprint, however and whenever it
+/// arrived — and records for unknown fingerprints are skipped, not
+/// trusted. Returns how many were unknown.
+pub fn place_records(
+    cells: &[CellSpec],
+    records: &[(u64, BenchOutcome)],
+    slots: &mut [Option<BenchOutcome>],
+) -> usize {
+    let mut by_fingerprint: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        by_fingerprint
+            .entry(cell.fingerprint())
+            .or_default()
+            .push(i);
+    }
+    let mut unknown = 0;
+    for (fingerprint, outcome) in records {
+        match by_fingerprint.get(fingerprint) {
+            Some(idxs) => {
+                for &i in idxs {
+                    slots[i] = Some(outcome.clone());
+                }
+            }
+            None => unknown += 1,
+        }
+    }
+    unknown
+}
+
+impl Upstream {
+    /// A tier over `addrs` (one `host:port` per shard), in ring order.
+    ///
+    /// # Panics
+    ///
+    /// The shard list must be non-empty.
+    #[must_use]
+    pub fn new(addrs: Vec<String>, config: UpstreamConfig) -> Self {
+        assert!(!addrs.is_empty(), "a shard tier needs at least one shard");
+        let ring = HashRing::new(addrs.len(), config.ring_replicas.max(1));
+        let shards = addrs
+            .into_iter()
+            .map(|addr| Shard {
+                pool: ConnPool::new(
+                    addr.clone(),
+                    config.connections,
+                    config.connect_timeout,
+                    config.io_timeout,
+                ),
+                addr,
+                up: AtomicBool::new(true),
+                requests: AtomicU64::new(0),
+                records: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            ring,
+            shards,
+            config,
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            local_fills: AtomicU64::new(0),
+            unknown_records: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards on the ring.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard addresses, in ring-index order.
+    #[must_use]
+    pub fn shard_addrs(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.addr.as_str()).collect()
+    }
+
+    /// The configured probe cadence (the prober thread's sleep).
+    #[must_use]
+    pub fn probe_interval(&self) -> Duration {
+        self.config.probe_interval
+    }
+
+    /// Cell groups served (at least partly) by a fallback shard so far.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Cells the tier could not resolve (computed by the local engine).
+    #[must_use]
+    pub fn local_fills(&self) -> u64 {
+        self.local_fills.load(Ordering::Relaxed)
+    }
+
+    /// Resolves a batch of cells through the shard tier: cells group by
+    /// owning shard (and shared simulation header), groups scatter
+    /// concurrently — one short-lived I/O thread per group, deliberately
+    /// *not* the shared execution pool, so scatter width always matches
+    /// shard count instead of `--jobs` and blocked network waits never
+    /// occupy simulation lanes — and gathered outcomes return
+    /// positionally: `None` where every responsible shard failed past
+    /// the retry budget, which the caller resolves locally.
+    #[must_use]
+    pub fn fetch(&self, cells: &[CellSpec]) -> Vec<Option<BenchOutcome>> {
+        let mut groups: Vec<(u64, usize, Vec<usize>)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let owner = self.ring.owner(cell.fingerprint());
+            let header = header_key(cell);
+            match groups
+                .iter_mut()
+                .find(|(h, s, _)| *h == header && *s == owner)
+            {
+                Some((_, _, g)) => g.push(i),
+                None => groups.push((header, owner, vec![i])),
+            }
+        }
+        let fetched: Vec<Vec<Option<BenchOutcome>>> = if groups.len() == 1 {
+            let specs: Vec<CellSpec> = groups[0].2.iter().map(|&i| cells[i].clone()).collect();
+            vec![self.fetch_group(&specs)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(_, _, idxs)| {
+                        let specs: Vec<CellSpec> = idxs.iter().map(|&i| cells[i].clone()).collect();
+                        scope.spawn(move || self.fetch_group(&specs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter thread"))
+                    .collect()
+            })
+        };
+        let mut out: Vec<Option<BenchOutcome>> = vec![None; cells.len()];
+        for ((_, _, idxs), got) in groups.iter().zip(fetched) {
+            for (&i, o) in idxs.iter().zip(got) {
+                out[i] = o;
+            }
+        }
+        let unresolved = out.iter().filter(|o| o.is_none()).count();
+        if unresolved > 0 {
+            self.local_fills
+                .fetch_add(unresolved as u64, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// One owner-group's scatter: try the owner, then the ring's
+    /// fallback order, re-requesting only the still-missing cells each
+    /// attempt (a shard that died mid-stream keeps its delivered cells).
+    fn fetch_group(&self, cells: &[CellSpec]) -> Vec<Option<BenchOutcome>> {
+        let mut slots: Vec<Option<BenchOutcome>> = vec![None; cells.len()];
+        let order = self.ring.successors(cells[0].fingerprint());
+        let mut cursor = 0usize;
+        let mut fallback_served = false;
+        for attempt in 0..=self.config.retries {
+            let missing: Vec<CellSpec> = cells
+                .iter()
+                .zip(&slots)
+                .filter(|(_, slot)| slot.is_none())
+                .map(|(cell, _)| cell.clone())
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.config.backoff * attempt as u32);
+            }
+            let (position, shard_ix) = self.next_candidate(&order, cursor);
+            let shard = &self.shards[shard_ix];
+            shard.requests.fetch_add(1, Ordering::Relaxed);
+            let (records, result) = self.fetch_once(shard, &missing);
+            shard
+                .records
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            if !records.is_empty() && position % order.len() != 0 {
+                fallback_served = true;
+            }
+            let unknown = place_records(cells, &records, &mut slots);
+            if unknown > 0 {
+                self.unknown_records
+                    .fetch_add(unknown as u64, Ordering::Relaxed);
+            }
+            match result {
+                Ok(()) => break,
+                Err(_) => {
+                    shard.failures.fetch_add(1, Ordering::Relaxed);
+                    shard.up.store(false, Ordering::Relaxed);
+                    cursor = position + 1;
+                }
+            }
+        }
+        if fallback_served {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        slots
+    }
+
+    /// The next shard to try: the first not-down-flagged shard at or
+    /// after `cursor` in ring order (wrapping), or — when everything is
+    /// flagged down — the shard at `cursor` anyway: flags are hints from
+    /// the last probe, and trying a flagged shard is how a wrong flag
+    /// gets corrected before the next probe.
+    fn next_candidate(&self, order: &[usize], cursor: usize) -> (usize, usize) {
+        for offset in 0..order.len() {
+            let position = cursor + offset;
+            let shard = order[position % order.len()];
+            if self.shards[shard].up.load(Ordering::Relaxed) {
+                return (position, shard);
+            }
+        }
+        (cursor, order[cursor % order.len()])
+    }
+
+    /// One `/v1/cells` request to one shard, over its persistent pool.
+    /// Returns every record gathered before the first failure (partial
+    /// gathers are kept — the caller retries only the remainder).
+    fn fetch_once(
+        &self,
+        shard: &Shard,
+        cells: &[CellSpec],
+    ) -> (Vec<(u64, BenchOutcome)>, io::Result<()>) {
+        let body = CellsRequest::body_for(cells);
+        // A reused keep-alive connection may have been idled out by the
+        // shard's request deadline since its last use; a send-phase
+        // failure on a *reused* connection therefore retries on the next
+        // checkout (draining stale idles until a fresh dial decides)
+        // rather than counting against the shard.
+        let (mut conn, head) = loop {
+            let mut c = match shard.pool.checkout() {
+                Ok(c) => c,
+                Err(e) => return (Vec::new(), Err(e)),
+            };
+            match c.request("POST", "/v1/cells", body.as_bytes(), true) {
+                Ok(head) => break (c, head),
+                Err(_) if !c.fresh() => continue,
+                Err(e) => return (Vec::new(), Err(e)),
+            }
+        };
+        if head.status != 200 {
+            return (
+                Vec::new(),
+                Err(io::Error::other(format!(
+                    "shard {} answered {}",
+                    shard.addr, head.status
+                ))),
+            );
+        }
+        if !head.chunked() {
+            return (
+                Vec::new(),
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "shard response is not chunked",
+                )),
+            );
+        }
+        let mut records = Vec::new();
+        loop {
+            match conn.next_chunk() {
+                Ok(None) => {
+                    if head.keep_alive() {
+                        conn.keep();
+                    }
+                    return (records, Ok(()));
+                }
+                Ok(Some(chunk)) => {
+                    let mut rest: &[u8] = &chunk;
+                    while !rest.is_empty() {
+                        let decoded = store::decode_record(rest).and_then(|(fp, payload, used)| {
+                            store::decode_outcome(payload).map(|o| (fp, o, used))
+                        });
+                        match decoded {
+                            Ok((fingerprint, outcome, used)) => {
+                                records.push((fingerprint, outcome));
+                                rest = &rest[used..];
+                            }
+                            Err(_) => {
+                                return (
+                                    records,
+                                    Err(io::Error::new(
+                                        io::ErrorKind::InvalidData,
+                                        "undecodable outcome record",
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(e) => return (records, Err(e)),
+            }
+        }
+    }
+
+    /// One liveness pass: `GET /healthz` against every shard, setting
+    /// each flag from the result. Run periodically by the router's
+    /// prober thread.
+    pub fn probe(&self) {
+        for shard in &self.shards {
+            let up = Connection::connect(
+                &shard.addr,
+                self.config.connect_timeout,
+                self.config.connect_timeout,
+            )
+            .and_then(|mut c| {
+                let head = c.request("GET", "/healthz", b"", false)?;
+                c.read_body(&head)?;
+                Ok(head.status == 200)
+            })
+            .unwrap_or(false);
+            shard.up.store(up, Ordering::Relaxed);
+        }
+    }
+
+    /// The `router` member of the `/metrics` document: per-shard routing
+    /// counters plus tier-wide failover accounting.
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("addr", Json::str(&s.addr)),
+                                ("up", Json::Bool(s.up.load(Ordering::Relaxed))),
+                                ("requests", Json::uint(s.requests.load(Ordering::Relaxed))),
+                                ("records", Json::uint(s.records.load(Ordering::Relaxed))),
+                                ("failures", Json::uint(s.failures.load(Ordering::Relaxed))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("retries", Json::uint(self.retries.load(Ordering::Relaxed))),
+            (
+                "failovers",
+                Json::uint(self.failovers.load(Ordering::Relaxed)),
+            ),
+            (
+                "local_fills",
+                Json::uint(self.local_fills.load(Ordering::Relaxed)),
+            ),
+            (
+                "unknown_records",
+                Json::uint(self.unknown_records.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}

@@ -66,6 +66,29 @@ impl Args {
             .map_err(|_| ArgError(format!("bad value for {flag}: {raw}")))
     }
 
+    /// Removes every occurrence of a repeatable `--flag value`, in
+    /// command-line order. Absent flags yield an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any occurrence is missing its value or
+    /// carries an unparseable one.
+    pub fn take_multi<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Vec<T>, ArgError> {
+        let mut values = Vec::new();
+        while let Some(i) = self.rest.iter().position(|a| a == flag) {
+            if i + 1 >= self.rest.len() {
+                return Err(ArgError(format!("{flag} needs a value")));
+            }
+            let raw = self.rest.remove(i + 1);
+            self.rest.remove(i);
+            values.push(
+                raw.parse()
+                    .map_err(|_| ArgError(format!("bad value for {flag}: {raw}")))?,
+            );
+        }
+        Ok(values)
+    }
+
     /// Removes a boolean `--flag`, reporting whether it was present.
     pub fn take_flag(&mut self, flag: &str) -> bool {
         if let Some(i) = self.rest.iter().position(|a| a == flag) {
@@ -140,6 +163,27 @@ mod tests {
 
         let a = args(&["stray"]);
         assert_eq!(a.finish().unwrap_err().0, "unexpected argument stray");
+    }
+
+    #[test]
+    fn take_multi_collects_repeats_in_order() {
+        let mut a = args(&["--shard", "a:1", "--jobs", "2", "--shard", "b:2"]);
+        assert_eq!(
+            a.take_multi::<String>("--shard").unwrap(),
+            vec!["a:1".to_string(), "b:2".to_string()]
+        );
+        assert_eq!(
+            a.take_multi::<String>("--shard").unwrap(),
+            Vec::<String>::new()
+        );
+        assert_eq!(a.take_opt::<usize>("--jobs").unwrap(), Some(2));
+        assert!(a.finish().is_ok());
+
+        let mut a = args(&["--shard", "x", "--shard"]);
+        assert_eq!(
+            a.take_multi::<String>("--shard").unwrap_err().0,
+            "--shard needs a value"
+        );
     }
 
     #[test]

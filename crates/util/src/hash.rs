@@ -95,6 +95,100 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// A consistent-hash ring assigning 64-bit keys to shard indices.
+///
+/// Each shard owns `replicas` virtual nodes whose ring positions are
+/// FNV-1a digests of `(shard index, replica index)` — fully determined by
+/// the shard count, so every participant that knows `(shards, replicas)`
+/// computes the same placement with no coordination. A key belongs to the
+/// first virtual node at or clockwise of its own ring position.
+///
+/// The property that makes this *consistent*: growing the ring from `n`
+/// to `n + 1` shards only inserts the new shard's virtual nodes — every
+/// existing node keeps its position — so the only keys that move are
+/// those a new node landed in front of, about `K/(n+1)` of `K` keys, and
+/// each of them moves *to* the new shard. Shrinking is the mirror image.
+/// (Pinned by a proptest in the routing test suite.)
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, shard index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring of `shards` shards with `replicas` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero — an empty ring owns nothing.
+    #[must_use]
+    pub fn new(shards: usize, replicas: usize) -> Self {
+        assert!(shards > 0, "a hash ring needs at least one shard");
+        assert!(replicas > 0, "a hash ring needs at least one replica");
+        let mut points = Vec::with_capacity(shards * replicas);
+        for shard in 0..shards {
+            for replica in 0..replicas {
+                let mut h = Fnv64::new();
+                h.write_str("ring-node");
+                h.write_u64(shard as u64);
+                h.write_u64(replica as u64);
+                points.push((h.finish(), shard));
+            }
+        }
+        // Position ties (astronomically unlikely) resolve to the lower
+        // shard index so ownership stays a pure function of the inputs.
+        points.sort_unstable();
+        Self { points, shards }
+    }
+
+    /// The number of shards on the ring.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// A key's ring position. Keys are re-mixed through one more FNV
+    /// round so ring geometry is independent of any structure in the
+    /// caller's key space (cell fingerprints are themselves FNV digests).
+    fn position(key: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("ring-key");
+        h.write_u64(key);
+        h.finish()
+    }
+
+    /// The shard that owns `key`.
+    #[must_use]
+    pub fn owner(&self, key: u64) -> usize {
+        let pos = Self::position(key);
+        let i = self.points.partition_point(|&(p, _)| p < pos);
+        self.points[i % self.points.len()].1
+    }
+
+    /// Every shard in ring order starting at `key`'s owner: element 0 is
+    /// [`owner`](Self::owner), the rest are the fallback order a router
+    /// should try when the owner is unreachable.
+    #[must_use]
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let pos = Self::position(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +229,95 @@ mod tests {
         h.write_u64(42);
         h.write_f64(1.8);
         assert_eq!(h.finish(), 0x2ee4_c53b_d692_247f);
+    }
+
+    #[test]
+    fn ring_ownership_is_deterministic_and_covers_every_shard() {
+        let a = HashRing::new(4, 64);
+        let b = HashRing::new(4, 64);
+        let mut owned = [0usize; 4];
+        for key in 0..4096u64 {
+            let shard = a.owner(key);
+            assert_eq!(shard, b.owner(key), "placement must be reproducible");
+            owned[shard] += 1;
+        }
+        for (shard, n) in owned.iter().enumerate() {
+            assert!(
+                *n > 0,
+                "shard {shard} owns no keys — virtual nodes misplaced"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_successors_start_at_the_owner_and_visit_every_shard() {
+        let ring = HashRing::new(5, 32);
+        for key in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            let order = ring.successors(key);
+            assert_eq!(order[0], ring.owner(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "each shard exactly once");
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        for key in 0..64u64 {
+            assert_eq!(ring.owner(key), 0);
+            assert_eq!(ring.successors(key), vec![0]);
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_keys_only_to_the_new_shard() {
+        // The defining consistency property, deterministically: any key
+        // whose owner changes when shard n joins must now be owned by n.
+        let before = HashRing::new(3, 64);
+        let after = HashRing::new(4, 64);
+        let keys = 8192u64;
+        let mut moved = 0usize;
+        for key in 0..keys {
+            let (old, new) = (before.owner(key), after.owner(key));
+            if old != new {
+                assert_eq!(new, 3, "key {key} moved to shard {new}, not the newcomer");
+                moved += 1;
+            }
+        }
+        // Expected share is K/4; allow generous slack for hash variance.
+        let expected = keys as usize / 4;
+        assert!(
+            moved > expected / 2 && moved < expected * 2,
+            "moved {moved} of {keys} keys; expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn shrinking_the_ring_strands_only_the_removed_shards_keys() {
+        // The mirror property over a pseudo-random key sample: when the
+        // highest-indexed shard leaves, only keys it owned may move — the
+        // surviving shards' placements are untouched, so a shard removal
+        // invalidates about K/N cache placements, not all of them.
+        let before = HashRing::new(4, 64);
+        let after = HashRing::new(3, 64);
+        let mut key = 0x9e37_79b9_7f4a_7c15u64;
+        let (mut sampled, mut moved) = (0usize, 0usize);
+        for _ in 0..8192 {
+            key = key
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            sampled += 1;
+            let old = before.owner(key);
+            if old != after.owner(key) {
+                assert_eq!(old, 3, "key {key:#x} moved but shard {old} never left");
+                moved += 1;
+            }
+        }
+        let expected = sampled / 4;
+        assert!(
+            moved > expected / 2 && moved < expected * 2,
+            "moved {moved} of {sampled} keys; expected about {expected}"
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! fo4depth experiments                          # the paper's experiment registry
 //! fo4depth report --quick                       # machine-readable JSON run report
 //! fo4depth serve --addr 127.0.0.1:7634          # simulation-as-a-service daemon
+//! fo4depth route --shard HOST:PORT [...]        # consistent-hash routing tier
 //! ```
 //!
 //! Argument parsing is strict: unknown subcommands, unknown flags, and
@@ -35,7 +36,7 @@ use fo4depth::study::sim::{run_inorder, run_ooo, SimParams};
 use fo4depth::study::sweep::{
     adaptive_sweep_arenas, adaptive_sweep_spec, auto_lanes, build_arenas, depth_sweep_arenas,
     depth_sweep_arenas_batched, depth_sweep_spec, depth_sweep_spec_batched, standard_points,
-    AdaptiveSweep, CoreKind, SweepSpec,
+    AdaptiveSweep, CoreKind, DepthSweep, SweepSpec,
 };
 use fo4depth::study::validation::{self, Bands};
 use fo4depth::util::args::{ArgError, Args};
@@ -65,13 +66,15 @@ fn usage() -> ExitCode {
                   emit a machine-readable JSON run report (counters + CPI stacks)\n\
            perf [--core ooo|inorder|both] [--quick] [--jobs N] [--out FILE]\n\
                 [--batch-lanes N|on|max|auto|off] [--sweep-mode dense|adaptive]\n\
-                [--tolerance FO4] [--coarse-step N] [--seed-clock FO4]\n\
+                [--tolerance FO4] [--coarse-step N] [--seed-clock FO4] [--shards N]\n\
                   time the fixed sweep workload (trace generation and\n\
                   simulation split out); emit a JSON bench report; unless\n\
                   --batch-lanes off, also time the lane-batched engine and\n\
                   verify it against the scalar sweep bit-for-bit; unless\n\
                   --sweep-mode dense, also time the adaptive planner and\n\
-                  verify it lands on the dense optimum\n\
+                  verify it lands on the dense optimum; with --shards N,\n\
+                  also time the routed full-OOO sweep through 1 vs N\n\
+                  fresh shard subprocesses and verify byte-identity\n\
            serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
                  [--cell-cache N] [--max-body BYTES] [--timeout-ms N]\n\
                  [--deadline-ms N] [--cache-dir DIR] [--fsync always|batch|off]\n\
@@ -79,6 +82,14 @@ fn usage() -> ExitCode {
                   run the HTTP simulation service (caching, coalescing,\n\
                   backpressure; SIGTERM drains and exits); --cache-dir\n\
                   persists cell outcomes across restarts\n\
+           route --shard HOST:PORT [--shard HOST:PORT ...] [serve options]\n\
+                 [--shard-connections N] [--shard-retries N] [--shard-backoff-ms N]\n\
+                 [--shard-timeout-ms N] [--ring-replicas N]\n\
+                  front a fleet of serve shards: the same HTTP surface,\n\
+                  with cell simulation scattered to the owning shards by\n\
+                  consistent hashing and gathered back byte-identically;\n\
+                  dead shards fail over to ring successors, then local\n\
+                  compute\n\
            cache <stat|verify|compact> --cache-dir DIR\n\
                   inspect or rewrite the persistent cell cache offline\n\
          `--jobs N` sizes the shared execution pool (1 = serial); the\n\
@@ -506,6 +517,128 @@ fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// One `fo4depth serve` shard subprocess for the perf harness, killed on
+/// drop so a panicking run cannot leak children.
+struct ShardProc {
+    child: std::process::Child,
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns one shard of this same binary on an ephemeral port and waits for
+/// its `listening on ADDR` banner.
+fn spawn_shard(jobs: usize) -> Result<(ShardProc, String), ArgError> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe()
+        .map_err(|e| ArgError(format!("cannot locate the fo4depth binary: {e}")))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            &jobs.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| ArgError(format!("cannot spawn shard: {e}")))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let proc = ShardProc { child };
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| ArgError(format!("shard produced no address: {e}")))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| ArgError(format!("unexpected shard banner {line:?}")))?
+        .to_string();
+    Ok((proc, addr))
+}
+
+/// Times the routed full-OOO sweep through one shard vs `shards` shards.
+/// Both measurements use fresh shard subprocesses and fresh router engines,
+/// so both are equally cold; each shard gets the router's own `--jobs`, so
+/// the fleet's advantage is pure horizontal scale. Byte-identity against
+/// the local scalar `reference` sweep is asserted, not sampled.
+fn shard_perf(
+    shards: usize,
+    params: &SimParams,
+    reference: Option<&DepthSweep>,
+) -> Result<fo4depth::util::json::Json, ArgError> {
+    use fo4depth::serve::api::{RequestLimits, SweepRequest};
+    use fo4depth::util::json::Json;
+
+    let jobs = fo4depth::exec::global().threads();
+    let spec = Json::obj(vec![
+        ("core", Json::str("ooo")),
+        ("warmup", Json::uint(params.warmup)),
+        ("measure", Json::uint(params.measure)),
+        ("seed", Json::uint(params.seed)),
+    ]);
+    let req = SweepRequest::from_json(&spec, &RequestLimits::default())
+        .expect("perf sweep spec is valid");
+
+    let route_through = |addrs: Vec<String>| -> Result<(DepthSweep, f64), ArgError> {
+        let config = ServeConfig {
+            shards: addrs,
+            ..ServeConfig::default()
+        };
+        let engine = fo4depth::serve::build_engine(&config)
+            .map_err(|e| ArgError(format!("cannot build router engine: {e}")))?;
+        let start = std::time::Instant::now();
+        let sweep = engine.sweep(&req, false);
+        Ok((sweep, start.elapsed().as_secs_f64()))
+    };
+
+    // Baseline: the whole keyspace on one shard.
+    let (single_proc, single_addr) = spawn_shard(jobs)?;
+    let (single_sweep, single_sim) = route_through(vec![single_addr])?;
+    drop(single_proc);
+
+    // The fleet: fresh processes, so the sharded run is just as cold.
+    let fleet: Vec<(ShardProc, String)> = (0..shards)
+        .map(|_| spawn_shard(jobs))
+        .collect::<Result<_, _>>()?;
+    let addrs = fleet.iter().map(|(_, a)| a.clone()).collect();
+    let (fleet_sweep, fleet_sim) = route_through(addrs)?;
+    drop(fleet);
+
+    assert_eq!(
+        single_sweep, fleet_sweep,
+        "sharded sweep diverged from the single-shard sweep"
+    );
+    if let Some(reference) = reference {
+        assert_eq!(
+            &fleet_sweep, reference,
+            "routed sweep diverged from the local scalar reference"
+        );
+    }
+    let speedup = single_sim / fleet_sim;
+    // Horizontal scale needs physical cores: on a `cpus`-core machine the
+    // ceiling is min(shards, cpus / jobs), so the report records the
+    // machine alongside the measurement.
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "sharding: {shards} shards {fleet_sim:.3} s vs 1 shard {single_sim:.3} s \
+         ({speedup:.2}x) at --jobs {jobs} per shard on {cpus} cpus"
+    );
+    Ok(Json::obj(vec![
+        ("shards", Json::uint(shards as u64)),
+        ("jobs_per_shard", Json::uint(jobs as u64)),
+        ("cpus", Json::uint(cpus as u64)),
+        ("single_shard_sim_seconds", Json::Num(single_sim)),
+        ("sharded_sim_seconds", Json::Num(fleet_sim)),
+        ("shard_speedup", Json::Num(speedup)),
+    ]))
+}
+
 /// The fixed benchmarking workload: the full depth sweep at the paper's
 /// overhead, timed wall-clock, reported as deterministic-schema JSON so CI
 /// can track simulation throughput run-over-run. Trace generation
@@ -533,6 +666,7 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
             )));
         }
     };
+    let shard_count = args.take_opt::<usize>("--shards")?.unwrap_or(0);
     args.finish()?;
     let params = if quick {
         SimParams {
@@ -555,6 +689,7 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     let arenas = build_arenas(&profs, &params, pool);
     let trace_gen = start.elapsed().as_secs_f64();
     let mut sweeps = Vec::new();
+    let mut ooo_reference: Option<DepthSweep> = None;
     let (mut total_cycles, mut total_rate) = (0u64, 0.0f64);
     for &core in &cores {
         let spec = SweepSpec {
@@ -577,6 +712,9 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
             }
         }
         let (opt_t, opt_bips) = sweep.optimum(None);
+        if core == CoreKind::OutOfOrder {
+            ooo_reference = Some(sweep.clone());
+        }
         total_cycles += cycles;
         total_rate = cycles as f64 / sim;
         let lanes = batch.resolve(core, points.len());
@@ -650,8 +788,17 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
         sweeps.push(Json::obj(fields));
     }
     let wall = start.elapsed().as_secs_f64();
-    let doc = Json::obj(vec![
-        ("schema_version", Json::Int(4)),
+    // The shard harness runs after the local sweeps so the OOO reference
+    // exists for the byte-identity assert; `wall_seconds` is captured
+    // first so it keeps meaning what it always has (local trace gen plus
+    // simulation), not subprocess startup.
+    let sharding = if shard_count > 0 {
+        Some(shard_perf(shard_count, &params, ooo_reference.as_ref())?)
+    } else {
+        None
+    };
+    let mut doc_fields = vec![
+        ("schema_version", Json::Int(5)),
         (
             "workload",
             Json::obj(vec![
@@ -689,7 +836,11 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
         ("trace_gen_seconds", Json::Num(trace_gen)),
         ("wall_seconds", Json::Num(wall)),
         ("sweeps", Json::Arr(sweeps)),
-    ]);
+    ];
+    if let Some(sharding) = sharding {
+        doc_fields.push(("sharding", sharding));
+    }
+    let doc = Json::obj(doc_fields);
     let text = doc.pretty();
     match out_path {
         Some(path) => {
@@ -707,11 +858,10 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Runs the simulation service until SIGTERM/SIGINT, then drains and
-/// exits 0. Prints the bound address on stdout once listening, so
-/// scripts (and the CI smoke job) know when to connect.
-fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
-    apply_jobs(&mut args)?;
+/// Parses the daemon options shared by `serve` and `route` into a
+/// [`ServeConfig`]. Does not call `args.finish()` — `route` still has its
+/// own flags to take afterwards.
+fn serve_config_from(args: &mut Args) -> Result<ServeConfig, ArgError> {
     let mut config = ServeConfig::default();
     if let Some(addr) = args.take_opt::<String>("--addr")? {
         config.addr = addr;
@@ -750,12 +900,18 @@ fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
             ))
         })?;
     }
-    args.finish()?;
+    Ok(config)
+}
+
+/// Binds and runs a daemon until SIGTERM/SIGINT, then drains and exits 0.
+/// Prints the bound address on stdout once listening, so scripts (and the
+/// CI smoke jobs) know when to connect.
+fn run_server(config: ServeConfig) -> ExitCode {
     let server = match Server::bind(config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind: {e}");
-            return Ok(ExitCode::FAILURE);
+            return ExitCode::FAILURE;
         }
     };
     match server.local_addr() {
@@ -766,16 +922,65 @@ fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
         }
         Err(e) => {
             eprintln!("cannot query bound address: {e}");
-            return Ok(ExitCode::FAILURE);
+            return ExitCode::FAILURE;
         }
     }
     match server.run() {
-        Ok(()) => Ok(ExitCode::SUCCESS),
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("serve failed: {e}");
-            Ok(ExitCode::FAILURE)
+            ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the single-node simulation service.
+fn cmd_serve(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let config = serve_config_from(&mut args)?;
+    args.finish()?;
+    Ok(run_server(config))
+}
+
+/// Runs the routing tier: the same HTTP surface as `serve`, but cell
+/// simulation scatters to the owning `--shard` daemons by consistent
+/// hashing and gathers back byte-identically. The router keeps its own
+/// response/cell caches (and optional `--cache-dir`), so warm traffic
+/// never leaves the tier.
+fn cmd_route(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let mut config = serve_config_from(&mut args)?;
+    config.shards = args.take_multi::<String>("--shard")?;
+    if config.shards.is_empty() {
+        return Err(ArgError(
+            "route needs at least one --shard HOST:PORT".into(),
+        ));
+    }
+    if let Some(n) = args.take_opt::<usize>("--shard-connections")? {
+        if n == 0 {
+            return Err(ArgError(
+                "--shard-connections needs a positive value".into(),
+            ));
+        }
+        config.upstream.connections = n;
+    }
+    if let Some(n) = args.take_opt::<usize>("--shard-retries")? {
+        config.upstream.retries = n;
+    }
+    if let Some(ms) = args.take_opt::<u64>("--shard-backoff-ms")? {
+        config.upstream.backoff = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.take_opt::<u64>("--shard-timeout-ms")? {
+        config.upstream.io_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    if let Some(n) = args.take_opt::<usize>("--ring-replicas")? {
+        if n == 0 {
+            return Err(ArgError("--ring-replicas needs a positive value".into()));
+        }
+        config.upstream.ring_replicas = n;
+    }
+    args.finish()?;
+    Ok(run_server(config))
 }
 
 /// Offline maintenance of a persistent cell cache directory: `stat`
@@ -928,6 +1133,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(args),
         "perf" => cmd_perf(args),
         "serve" => cmd_serve(args),
+        "route" => cmd_route(args),
         "cache" => cmd_cache(args),
         "experiments" => args.finish().map(|()| {
             for e in registry() {

@@ -13,7 +13,7 @@
 
 // Each integration-test binary compiles its own copy of this module and
 // uses a subset of it.
-#![allow(dead_code)]
+#![allow(dead_code, unused_imports)]
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -207,126 +207,9 @@ pub fn wait_for_counter(addr: SocketAddr, path: &[&str], target: u64) -> u64 {
 // Chunked (streamed) responses
 // ---------------------------------------------------------------------------
 
-/// An incremental client for a chunked-transfer response: the head is read
-/// eagerly, then [`next_chunk`](Self::next_chunk) yields each data chunk as
-/// the server flushes it — so a test can observe per-point delivery while
-/// the sweep is still running on the other end.
-pub struct StreamingClient {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    pos: usize,
-    pub status: u16,
-    pub headers: Vec<(String, String)>,
-}
-
-impl StreamingClient {
-    /// Sends a POST and reads the response head. Panics unless the
-    /// response announces `transfer-encoding: chunked`.
-    pub fn post(addr: SocketAddr, path: &str, body: &str) -> Self {
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(60)))
-            .expect("client timeout");
-        stream
-            .write_all(
-                format!(
-                    "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
-                    body.len()
-                )
-                .as_bytes(),
-            )
-            .expect("send request");
-        let mut client = Self {
-            stream,
-            buf: Vec::new(),
-            pos: 0,
-            status: 0,
-            headers: Vec::new(),
-        };
-        let head_end = loop {
-            if let Some(i) = client.buf.windows(4).position(|w| w == b"\r\n\r\n") {
-                break i;
-            }
-            client.fill();
-        };
-        let head = String::from_utf8(client.buf[..head_end].to_vec()).expect("UTF-8 head");
-        client.pos = head_end + 4;
-        let mut lines = head.split("\r\n");
-        client.status = lines
-            .next()
-            .and_then(|l| l.split(' ').nth(1))
-            .and_then(|s| s.parse().ok())
-            .expect("status code");
-        client.headers = lines
-            .filter_map(|l| l.split_once(':'))
-            .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
-            .collect();
-        assert_eq!(
-            client.header("transfer-encoding"),
-            Some("chunked"),
-            "streamed response must be chunked"
-        );
-        client
-    }
-
-    pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn fill(&mut self) {
-        let mut tmp = [0u8; 4096];
-        let got = self.stream.read(&mut tmp).expect("stream read");
-        assert!(got > 0, "connection closed mid-stream");
-        self.buf.extend_from_slice(&tmp[..got]);
-    }
-
-    fn line(&mut self) -> String {
-        loop {
-            if let Some(i) = self.buf[self.pos..].windows(2).position(|w| w == b"\r\n") {
-                let line =
-                    String::from_utf8(self.buf[self.pos..self.pos + i].to_vec()).expect("UTF-8");
-                self.pos += i + 2;
-                return line;
-            }
-            self.fill();
-        }
-    }
-
-    fn take(&mut self, n: usize) -> Vec<u8> {
-        while self.buf.len() - self.pos < n {
-            self.fill();
-        }
-        let data = self.buf[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        data
-    }
-
-    /// The next data chunk, blocking until the server flushes one; `None`
-    /// at the stream terminator.
-    pub fn next_chunk(&mut self) -> Option<String> {
-        let len = usize::from_str_radix(self.line().trim(), 16).expect("hex chunk length");
-        let data = self.take(len);
-        let crlf = self.take(2);
-        assert_eq!(crlf, b"\r\n", "chunk not CRLF-terminated");
-        if len == 0 {
-            return None;
-        }
-        Some(String::from_utf8(data).expect("UTF-8 chunk"))
-    }
-
-    /// Drains the stream to its terminator, returning every remaining
-    /// data chunk.
-    pub fn drain(&mut self) -> Vec<String> {
-        let mut chunks = Vec::new();
-        while let Some(c) = self.next_chunk() {
-            chunks.push(c);
-        }
-        chunks
-    }
-}
+// The incremental chunked-response client lives with the serving crate now
+// (the router's upstream client grew out of it); tests keep their old name.
+pub use fo4depth::serve::client::StreamingClient;
 
 // ---------------------------------------------------------------------------
 // Bitwise sweep equivalence

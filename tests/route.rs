@@ -1,0 +1,320 @@
+//! End-to-end tests of the sharded serving tier: real shard daemons on
+//! real sockets, fronted by a real router, driven by the shared HTTP
+//! client.
+//!
+//! The claims under test are the routing subsystem's contract:
+//! byte-identity with single-node serving (dense, adaptive, and streamed),
+//! failover when a shard dies, order-independent gather reassembly,
+//! single-flight across the tier, keep-alive reuse on the upstream wire
+//! protocol, and structured rejection of unknown schema versions.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{counter, metrics, post, start, StreamingClient, TestServer};
+use fo4depth::serve::api::{CellsRequest, RequestLimits, SweepRequest};
+use fo4depth::serve::client::Connection;
+use fo4depth::serve::router::place_records;
+use fo4depth::serve::{build_engine, store, ServeConfig};
+use fo4depth::study::cells::assemble_sweep;
+use fo4depth::study::latency::StructureSet;
+use fo4depth::util::Json;
+
+/// Starts a router fronting the given shards, on its own ephemeral port.
+fn start_router(shards: &[&TestServer]) -> TestServer {
+    let config = ServeConfig {
+        shards: shards.iter().map(|s| s.addr.to_string()).collect(),
+        ..ServeConfig::default()
+    };
+    start(config)
+}
+
+/// The error code of a structured error response.
+fn error_code(response: &common::Response) -> String {
+    response
+        .json()
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("structured error code")
+        .to_string()
+}
+
+#[test]
+fn routed_sweeps_are_byte_identical_to_single_node() {
+    let shard_a = start(ServeConfig::default());
+    let shard_b = start(ServeConfig::default());
+    let router = start_router(&[&shard_a, &shard_b]);
+    let single = start(ServeConfig::default());
+
+    // Dense: the router scatters the cold cells across both shards and
+    // must reassemble the exact bytes a single node renders.
+    let dense = r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.5,7.3,9.1],"warmup":400,"measure":1500,"seed":11}"#;
+    let routed = post(router.addr, "/v1/sweep", dense);
+    let local = post(single.addr, "/v1/sweep", dense);
+    assert_eq!(routed.status, 200, "body: {}", routed.body);
+    assert_eq!(routed.body, local.body, "routed dense sweep diverged");
+
+    // Both shards actually served cells — the scatter was real, not a
+    // local fallback.
+    let m = metrics(router.addr);
+    let shards = m
+        .get("router")
+        .and_then(|r| r.get("shards"))
+        .and_then(Json::as_arr)
+        .expect("router shard stats");
+    let records: u64 = shards
+        .iter()
+        .map(|s| s.get("records").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    assert!(records > 0, "no shard served any record");
+    assert_eq!(counter(&m, &["router", "local_fills"]), 0);
+
+    // Adaptive: a different search mode, same byte-identity bar. The
+    // probed subset must match the single node's exactly.
+    let adaptive = r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.5,7.3,9.1],"warmup":400,"measure":1500,"seed":11,"mode":"adaptive"}"#;
+    let routed = post(router.addr, "/v1/sweep", adaptive);
+    let local = post(single.addr, "/v1/sweep", adaptive);
+    assert_eq!(routed.status, 200, "body: {}", routed.body);
+    assert_eq!(routed.body, local.body, "routed adaptive sweep diverged");
+
+    // Streamed: same chunks, same bytes, end to end through the tier.
+    let streamed = r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.5,7.3,9.1],"warmup":400,"measure":1500,"seed":11,"mode":"adaptive","stream":true}"#;
+    let routed = StreamingClient::post(router.addr, "/v1/sweep", streamed).drain();
+    let local = StreamingClient::post(single.addr, "/v1/sweep", streamed).drain();
+    assert_eq!(
+        routed.len(),
+        local.len(),
+        "routed stream chunk count diverged"
+    );
+    assert_eq!(
+        routed.concat(),
+        local.concat(),
+        "routed streamed sweep diverged"
+    );
+}
+
+#[test]
+fn router_fails_over_when_a_shard_dies() {
+    let shard_a = start(ServeConfig::default());
+    let shard_b = start(ServeConfig::default());
+    let router = start_router(&[&shard_a, &shard_b]);
+    let single = start(ServeConfig::default());
+
+    // Kill one shard before any traffic: every cell it owned must fail
+    // over to the survivor, and the sweep must still be byte-identical.
+    drop(shard_a);
+    let body = r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.0,6.5,8.0],"warmup":400,"measure":1500,"seed":13}"#;
+    let routed = post(router.addr, "/v1/sweep", body);
+    let local = post(single.addr, "/v1/sweep", body);
+    assert_eq!(routed.status, 200, "body: {}", routed.body);
+    assert_eq!(routed.body, local.body, "failover sweep diverged");
+
+    let m = metrics(router.addr);
+    assert!(
+        counter(&m, &["router", "failovers"]) >= 1,
+        "no failover recorded: {}",
+        m.pretty()
+    );
+
+    // The dead shard is (or soon will be) flagged down by failures or the
+    // liveness probe; the survivor stays up.
+    let survivor_up = m
+        .get("router")
+        .and_then(|r| r.get("shards"))
+        .and_then(Json::as_arr)
+        .expect("router shard stats")
+        .iter()
+        .filter_map(|s| match s.get("up") {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        })
+        .nth(1);
+    assert_eq!(survivor_up, Some(true), "survivor flagged down");
+}
+
+#[test]
+fn identical_concurrent_routed_sweeps_are_single_flight_across_the_tier() {
+    let shard = start(ServeConfig::default());
+    let router = start_router(&[&shard]);
+    let body =
+        r#"{"benchmarks":["164.gzip"],"points":[6.0,8.0],"warmup":400,"measure":1500,"seed":17}"#;
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let r = post(router.addr, "/v1/sweep", body);
+                    assert_eq!(r.status, 200, "body: {}", r.body);
+                    r.body
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("post"))
+            .collect()
+    });
+    assert_eq!(bodies[0], bodies[1], "concurrent responses diverged");
+
+    // However the two requests interleaved (coalesced in flight, or the
+    // second served from the response cache), the shard saw exactly one
+    // scatter — the cell set simulated once for the whole tier.
+    let m = metrics(router.addr);
+    let shard_requests: u64 = m
+        .get("router")
+        .and_then(|r| r.get("shards"))
+        .and_then(Json::as_arr)
+        .expect("router shard stats")
+        .iter()
+        .map(|s| s.get("requests").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    assert_eq!(shard_requests, 1, "tier saw more than one scatter");
+}
+
+#[test]
+fn cells_endpoint_streams_binary_records_over_a_kept_alive_connection() {
+    let shard = start(ServeConfig::default());
+    let spec = Json::parse(
+        r#"{"benchmarks":["164.gzip","181.mcf"],"points":[6.0,8.0],"warmup":300,"measure":1000,"seed":19}"#,
+    )
+    .expect("spec");
+    let req = SweepRequest::from_json(&spec, &RequestLimits::default()).expect("valid spec");
+    let cells = req.cells(false);
+    let body = CellsRequest::body_for(&cells);
+
+    let mut conn = Connection::connect(
+        &shard.addr.to_string(),
+        Duration::from_secs(10),
+        Duration::from_secs(60),
+    )
+    .expect("connect");
+
+    let head = conn
+        .request("POST", "/v1/cells", body.as_bytes(), true)
+        .expect("send cells request");
+    assert_eq!(head.status, 200);
+    assert!(head.chunked(), "cells response must be chunked");
+    assert_eq!(
+        head.header("content-type"),
+        Some("application/octet-stream")
+    );
+    assert!(head.keep_alive(), "server must honour keep-alive");
+
+    // Decode every record off the wire: one binary record per cell, each
+    // fingerprint matching a requested cell, each payload a decodable
+    // outcome.
+    let mut seen = Vec::new();
+    while let Some(chunk) = conn.next_chunk().expect("chunk") {
+        let mut rest = &chunk[..];
+        while !rest.is_empty() {
+            let (fingerprint, payload, consumed) =
+                store::decode_record(rest).expect("well-formed record");
+            store::decode_outcome(payload).expect("decodable outcome");
+            seen.push(fingerprint);
+            rest = &rest[consumed..];
+        }
+    }
+    let mut expected: Vec<u64> = cells.iter().map(|c| c.fingerprint()).collect();
+    expected.sort_unstable();
+    seen.sort_unstable();
+    assert_eq!(seen, expected, "wire records != requested cells");
+
+    // The same connection serves a second request — persistent upstream
+    // connections are real, not advisory.
+    let head = conn
+        .request("POST", "/v1/cells", body.as_bytes(), true)
+        .expect("second request on kept-alive connection");
+    assert_eq!(head.status, 200);
+    let warm = conn.read_body(&head).expect("second body");
+    assert!(!warm.is_empty(), "warm repeat returned no records");
+}
+
+#[test]
+fn gathered_records_place_out_of_order_duplicated_and_missing() {
+    let engine = build_engine(&ServeConfig::default()).expect("engine");
+    let spec = Json::parse(
+        r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.0,7.0,9.0],"warmup":300,"measure":1000,"seed":23}"#,
+    )
+    .expect("spec");
+    let req = SweepRequest::from_json(&spec, &RequestLimits::default()).expect("valid spec");
+    let reference = engine.sweep(&req, false);
+
+    let cells = req.cells(false);
+    let outcomes = engine.fill_cells(&cells);
+
+    // A hostile gather: records arrive in reverse order, the first two
+    // are duplicated, one is withheld entirely, and a record for a
+    // fingerprint nobody asked for is mixed in.
+    let withheld = cells.len() - 2;
+    let mut records: Vec<(u64, fo4depth::study::sim::BenchOutcome)> = cells
+        .iter()
+        .zip(&outcomes)
+        .enumerate()
+        .rev()
+        .filter(|(i, _)| *i != withheld)
+        .map(|(_, (c, o))| (c.fingerprint(), o.clone()))
+        .collect();
+    records.push(records[records.len() - 1].clone());
+    records.push(records[0].clone());
+    records.push((0xdead_beef_dead_beef, outcomes[0].clone()));
+
+    let mut slots: Vec<Option<fo4depth::study::sim::BenchOutcome>> = vec![None; cells.len()];
+    let unknown = place_records(&cells, &records, &mut slots);
+    assert_eq!(unknown, 1, "exactly the alien fingerprint is unknown");
+    for (i, slot) in slots.iter().enumerate() {
+        if i == withheld {
+            assert!(slot.is_none(), "withheld cell {i} must stay unresolved");
+        } else {
+            assert!(slot.is_some(), "cell {i} not placed");
+        }
+    }
+
+    // Resolve the hole the way the router does (local compute) and the
+    // reassembled sweep is bit-identical to the straight-through path.
+    slots[withheld] = Some(outcomes[withheld].clone());
+    let assembled = assemble_sweep(
+        req.core,
+        &StructureSet::alpha_21264(),
+        req.overhead,
+        &req.points,
+        req.profiles.len(),
+        slots.into_iter().map(|s| s.expect("resolved")).collect(),
+    );
+    assert_eq!(assembled, reference, "reassembled sweep diverged");
+}
+
+#[test]
+fn unknown_schema_versions_are_rejected_with_a_structured_400() {
+    let shard = start(ServeConfig::default());
+    let router = start_router(&[&shard]);
+
+    // Version 1 (and absence) pass; anything else is a structured 400 on
+    // every JSON endpoint, shard and router alike.
+    let ok = r#"{"schema_version":1,"benchmarks":["164.gzip"],"points":[6.0],"warmup":300,"measure":1000,"seed":29}"#;
+    assert_eq!(post(shard.addr, "/v1/sweep", ok).status, 200);
+
+    let future = r#"{"schema_version":9,"benchmarks":["164.gzip"],"points":[6.0],"warmup":300,"measure":1000,"seed":29}"#;
+    for addr in [shard.addr, router.addr] {
+        let r = post(addr, "/v1/sweep", future);
+        assert_eq!(r.status, 400, "body: {}", r.body);
+        assert_eq!(error_code(&r), "unsupported_schema_version");
+
+        let r = post(
+            addr,
+            "/v1/run",
+            r#"{"schema_version":9,"benchmark":"164.gzip","t_useful":6.0}"#,
+        );
+        assert_eq!(r.status, 400, "body: {}", r.body);
+        assert_eq!(error_code(&r), "unsupported_schema_version");
+
+        let r = post(
+            addr,
+            "/v1/cells",
+            r#"{"schema_version":3,"warmup":300,"measure":1000,"seed":29,"overhead":1.8,"observed":false,"core":"ooo","cells":[{"benchmark":"164.gzip","t_useful":6.0}]}"#,
+        );
+        assert_eq!(r.status, 400, "body: {}", r.body);
+        assert_eq!(error_code(&r), "unsupported_schema_version");
+    }
+}
