@@ -58,9 +58,11 @@ pub mod sim;
 pub mod sweep;
 pub mod validation;
 pub mod wires;
+pub mod yield_sweep;
 
 pub use adaptive::{analytic_optimum, AdaptiveConfig, AdaptivePlanner, AdaptiveStats};
 pub use latency::{LatencyTable, StructureSet, ALPHA_USEFUL_FO4};
 pub use scaler::{MemoryConvention, ScaleOptions, ScaledMachine};
 pub use sim::{ClassSummary, SimParams};
 pub use sweep::{AdaptiveSweep, CoreKind, DepthSweep};
+pub use yield_sweep::{YieldAgreement, YieldPlan, YieldPoint, YieldSweep};

@@ -29,9 +29,13 @@ use fo4depth_study::cells::{assemble_sweep, sweep_cells, CellSpec};
 use fo4depth_study::latency::StructureSet;
 use fo4depth_study::report;
 use fo4depth_study::sim::{summarize, BenchOutcome, SimParams};
-use fo4depth_study::sweep::{standard_points, AdaptiveSweep, CoreKind, DepthSweep, SweepPoint};
+use fo4depth_study::sweep::{
+    standard_points, AdaptiveSweep, CoreKind, DepthSweep, SweepPoint, SweepSpec,
+};
+use fo4depth_study::yield_sweep::{YieldPlan, YieldPoint, YieldSweep};
 use fo4depth_util::hash::Fnv64;
 use fo4depth_util::Json;
+use fo4depth_variation::{ComponentSpec, DistKind, VariationSpec};
 use fo4depth_workload::{profiles, BenchClass, BenchProfile, TraceArena};
 
 use crate::cache::Cache;
@@ -64,6 +68,14 @@ impl ApiError {
         Self {
             status: 400,
             code: "unsupported_schema_version",
+            message: message.into(),
+        }
+    }
+
+    fn invalid_distribution(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            code: "invalid_distribution",
             message: message.into(),
         }
     }
@@ -782,6 +794,305 @@ impl CellsRequest {
     }
 }
 
+/// Largest Monte Carlo sample count the daemon admits per yield request
+/// (stricter than the library's own `MAX_SAMPLES`: a yield request
+/// multiplies `samples` into every `(point × benchmark)` cell).
+pub const MAX_SERVE_SAMPLES: u32 = 512;
+
+/// A validated `POST /v1/yield` request: a sweep-shaped spec plus the
+/// process-variation configuration for the Monte Carlo / fast-path pair.
+#[derive(Debug, Clone)]
+pub struct YieldRequest {
+    /// Core model.
+    pub core: CoreKind,
+    /// Benchmarks, in request (= response) order.
+    pub profiles: Vec<BenchProfile>,
+    /// Clock points, in request (= response) order.
+    pub points: Vec<Fo4>,
+    /// Simulation intervals and seed.
+    pub params: SimParams,
+    /// Per-stage overhead.
+    pub overhead: Fo4,
+    /// The validated variation configuration.
+    pub variation: VariationSpec,
+    /// Whether the client asked for chunked per-point delivery (transport
+    /// framing, excluded from the fingerprint).
+    pub stream: bool,
+}
+
+impl YieldRequest {
+    /// Validates a parsed request body into canonical form. Distribution
+    /// parameters that are the wrong JSON *shape* fail like every other
+    /// field (`422 invalid_request`); parameters that are semantically
+    /// impossible (negative sigma, unknown distribution kind, out-of-range
+    /// shares) fail with a structured `400 invalid_distribution`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] naming the offending field.
+    pub fn from_json(doc: &Json, limits: &RequestLimits) -> Result<Self, ApiError> {
+        let fields = Fields::of(
+            doc,
+            &[
+                "schema_version",
+                "core",
+                "benchmarks",
+                "points",
+                "warmup",
+                "measure",
+                "seed",
+                "overhead",
+                "stream",
+                "samples",
+                "variation_seed",
+                "distribution",
+                "sigma_fo4",
+                "sigma_latch",
+                "sigma_skew",
+                "sigma_jitter",
+                "systematic_fo4",
+                "systematic_overhead",
+                "logic_depth",
+                "guardband",
+            ],
+        )?;
+        fields.schema_version()?;
+
+        let mut variation = VariationSpec::new(fields.uint("variation_seed", 1)?);
+        let samples = fields.uint("samples", u64::from(variation.samples))?;
+        if samples == 0 || samples > u64::from(MAX_SERVE_SAMPLES) {
+            return Err(ApiError::invalid(format!(
+                "samples must be in [1, {MAX_SERVE_SAMPLES}]"
+            )));
+        }
+        variation.samples = samples as u32;
+        if let Some(v) = fields.get("distribution") {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::invalid("distribution must be a string"))?;
+            let kind = DistKind::parse(name)
+                .map_err(|e| ApiError::invalid_distribution(e.message().to_string()))?;
+            for component in [
+                &mut variation.fo4,
+                &mut variation.latch,
+                &mut variation.skew,
+                &mut variation.jitter,
+            ] {
+                component.kind = kind;
+            }
+        }
+        let number = |key: &str| -> Result<Option<f64>, ApiError> {
+            match fields.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| ApiError::invalid(format!("{key} must be a number"))),
+            }
+        };
+        type SigmaSlot = fn(&mut VariationSpec) -> &mut ComponentSpec;
+        let sigmas: [(&str, SigmaSlot); 4] = [
+            ("sigma_fo4", |v| &mut v.fo4),
+            ("sigma_latch", |v| &mut v.latch),
+            ("sigma_skew", |v| &mut v.skew),
+            ("sigma_jitter", |v| &mut v.jitter),
+        ];
+        for (key, component) in sigmas {
+            if let Some(sigma) = number(key)? {
+                component(&mut variation).sigma = sigma;
+            }
+        }
+        if let Some(share) = number("systematic_fo4")? {
+            variation.fo4.systematic = share;
+        }
+        if let Some(share) = number("systematic_overhead")? {
+            for component in [
+                &mut variation.latch,
+                &mut variation.skew,
+                &mut variation.jitter,
+            ] {
+                component.systematic = share;
+            }
+        }
+        if let Some(depth) = number("logic_depth")? {
+            variation.logic_depth = depth;
+        }
+        if let Some(guardband) = number("guardband")? {
+            variation.guardband = guardband;
+        }
+        variation
+            .validate()
+            .map_err(|e| ApiError::invalid_distribution(e.message().to_string()))?;
+
+        Ok(Self {
+            core: fields.core()?,
+            profiles: fields.benchmarks(limits)?,
+            points: fields.points(limits)?,
+            params: fields.params(limits)?,
+            overhead: fields.overhead()?,
+            variation,
+            stream: fields.stream()?,
+        })
+    }
+
+    /// The request's content address: the sweep-shaped half plus the
+    /// variation digest. `stream` is transport framing and excluded, so a
+    /// streamed yield sweep warms the cache for its buffered twin.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("yield");
+        h.write_str(core_key(self.core));
+        h.write_u64(self.profiles.len() as u64);
+        for p in &self.profiles {
+            h.write_str(&p.name);
+        }
+        h.write_u64(self.points.len() as u64);
+        for p in &self.points {
+            h.write_f64(p.get());
+        }
+        h.write_u64(self.params.warmup);
+        h.write_u64(self.params.measure);
+        h.write_u64(self.params.seed);
+        h.write_f64(self.overhead.get());
+        h.write_str(STRUCTURES_TAG);
+        h.write_u64(self.variation.digest());
+        h.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// /v1/yield body fragments — the same contract as the sweep fragments:
+// head into the points array, one fragment per point, tail carrying the
+// optima and the fast-vs-MC agreement.
+// ---------------------------------------------------------------------------
+
+/// Renders one variation component for the yield document head.
+fn component_json(c: &ComponentSpec) -> Json {
+    Json::obj(vec![
+        ("distribution", Json::str(c.kind.key())),
+        ("sigma", Json::Num(c.sigma)),
+        ("systematic", Json::Num(c.systematic)),
+    ])
+}
+
+/// Everything before the first yield point, opened into `points`.
+fn yield_head_fragment(req: &YieldRequest) -> String {
+    let v = &req.variation;
+    let head = Json::obj(vec![
+        ("schema_version", Json::uint(1)),
+        ("core", Json::str(core_key(req.core))),
+        ("overhead_fo4", Json::Num(req.overhead.get())),
+        (
+            "params",
+            Json::obj(vec![
+                ("warmup", Json::uint(req.params.warmup)),
+                ("measure", Json::uint(req.params.measure)),
+                ("seed", Json::uint(req.params.seed)),
+            ]),
+        ),
+        (
+            "variation",
+            Json::obj(vec![
+                ("seed", Json::uint(v.seed)),
+                ("samples", Json::uint(u64::from(v.samples))),
+                ("fo4", component_json(&v.fo4)),
+                ("latch", component_json(&v.latch)),
+                ("skew", component_json(&v.skew)),
+                ("jitter", component_json(&v.jitter)),
+                ("logic_depth", Json::Num(v.logic_depth)),
+                ("guardband", Json::Num(v.guardband)),
+            ]),
+        ),
+    ]);
+    let mut out = head.pretty_fragment(0);
+    out.truncate(out.len() - 2); // reopen the object: drop "\n}"
+    out.push_str(",\n  \"points\": [");
+    out
+}
+
+/// One yield point of the `/v1/yield` document.
+fn yield_point_json(p: &YieldPoint) -> Json {
+    Json::obj(vec![
+        ("t_useful", Json::Num(p.t_useful)),
+        ("period_ps", Json::Num(p.period_ps)),
+        ("bips_nominal", Json::Num(p.bips_nominal)),
+        ("yield_mc", Json::Num(p.yield_mc)),
+        ("yield_fast", Json::Num(p.yield_fast)),
+        ("ywbips_mc", Json::Num(p.ywbips_mc)),
+        ("ywbips_fast", Json::Num(p.ywbips_fast)),
+    ])
+}
+
+/// One yield point as an array element.
+fn yield_point_fragment(p: &YieldPoint, first: bool) -> String {
+    format!(
+        "{}\n    {}",
+        if first { "" } else { "," },
+        yield_point_json(p).pretty_fragment(2)
+    )
+}
+
+/// The terminal yield fragment: optima (nominal, MC, fast) + agreement.
+fn yield_tail_fragment(sweep: &YieldSweep) -> String {
+    let pair = |label: &'static str, (t, merit): (f64, f64)| {
+        Json::obj(vec![("t_useful", Json::Num(t)), (label, Json::Num(merit))])
+    };
+    let agreement = sweep.agreement();
+    let tail = Json::obj(vec![
+        (
+            "optima",
+            Json::obj(vec![
+                ("nominal", pair("bips", sweep.nominal_optimum())),
+                ("yield_mc", pair("ywbips", sweep.yield_optimum_mc())),
+                ("yield_fast", pair("ywbips", sweep.yield_optimum_fast())),
+            ]),
+        ),
+        (
+            "agreement",
+            Json::obj(vec![
+                ("max_yield_abs_err", Json::Num(agreement.max_yield_abs_err)),
+                (
+                    "optimum_step_delta",
+                    Json::Int(agreement.optimum_step_delta),
+                ),
+            ]),
+        ),
+    ]);
+    let rendered = tail.pretty_fragment(0);
+    format!("\n  ],{}\n", &rendered[1..])
+}
+
+/// Live counters for the `/metrics` document's `yield` section.
+#[derive(Debug, Default)]
+pub struct YieldCounters {
+    /// Yield sweeps actually planned and computed (response-cache hits do
+    /// not re-count).
+    pub sweeps: AtomicU64,
+    /// Monte Carlo sample cells planned across all computed yield sweeps.
+    pub mc_samples: AtomicU64,
+    /// `/v1/yield` responses delivered over chunked transfer.
+    pub streamed: AtomicU64,
+    /// Data chunks delivered across all streamed yield sweeps.
+    pub stream_chunks: AtomicU64,
+    /// Requests rejected with `400 invalid_distribution`.
+    pub invalid_distribution: AtomicU64,
+}
+
+impl YieldCounters {
+    /// Records one computed yield sweep and its planned sample cells.
+    pub fn record_sweep(&self, mc_samples: u64) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.mc_samples.fetch_add(mc_samples, Ordering::Relaxed);
+    }
+
+    /// Records one finished streamed response and its chunk count.
+    pub fn record_stream(&self, chunks: u64) {
+        self.streamed.fetch_add(1, Ordering::Relaxed);
+        self.stream_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+}
+
 /// Live counters for the `/metrics` document's `sweeps` section.
 #[derive(Debug, Default)]
 pub struct SweepCounters {
@@ -816,6 +1127,8 @@ pub struct Engine {
     pub arenas: Cache<Arc<TraceArena>>,
     /// Adaptive-planning and streaming counters.
     pub sweeps: SweepCounters,
+    /// Yield-sweep counters (`/v1/yield`).
+    pub yields: YieldCounters,
     /// Persistent tier under the cell LRU (read-through/write-behind);
     /// absent when the daemon runs without `--cache-dir`.
     store: Option<Arc<CellStore>>,
@@ -849,6 +1162,7 @@ impl Engine {
             cells: Cache::new(cell_entries),
             arenas: Cache::new(arena_entries),
             sweeps: SweepCounters::default(),
+            yields: YieldCounters::default(),
             store,
             upstream: None,
         }
@@ -1252,6 +1566,86 @@ impl Engine {
             Arc::new(doc.pretty())
         })
     }
+
+    /// `POST /v1/yield`, buffered: the full yield-aware sweep document,
+    /// single-flighted through the response tier.
+    pub fn yield_summary(&self, req: &YieldRequest) -> Arc<String> {
+        self.responses.get_or_compute(req.fingerprint(), || {
+            Arc::new(self.yield_body(req, false, &mut |_| {}))
+        })
+    }
+
+    /// Renders the `/v1/yield` body as an ordered fragment sequence —
+    /// the same contract as [`Self::sweep_body`]: streamed and buffered
+    /// responses are byte-identical by construction, and the assembled
+    /// bytes are the canonical [`Json::pretty`] rendering of the
+    /// document. `progressive` resolves the grid one point at a time
+    /// (that point's nominal *and* Monte Carlo cells in one fill), so the
+    /// first fragment leaves before the whole population has simulated.
+    ///
+    /// Every cell — nominal and Monte Carlo sample alike — resolves
+    /// through [`Self::fill_cells`]: the LRU, the persistent tier, and in
+    /// router mode the shard ring, exactly like any other sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.variation` fails validation — impossible for a
+    /// [`YieldRequest`] built by [`YieldRequest::from_json`].
+    pub fn yield_body(
+        &self,
+        req: &YieldRequest,
+        progressive: bool,
+        emit: &mut dyn FnMut(&str),
+    ) -> String {
+        let spec = SweepSpec {
+            core: req.core,
+            profiles: &req.profiles,
+            params: &req.params,
+            structures: &self.structures,
+            overhead: req.overhead,
+            points: &req.points,
+            observed: false,
+        };
+        let plan = YieldPlan::build(spec, req.variation, fo4depth_exec::global())
+            .expect("variation validated at request parse");
+        self.yields.record_sweep(plan.sample_cells() as u64);
+
+        fn push(body: &mut String, emit: &mut dyn FnMut(&str), frag: &str) {
+            body.push_str(frag);
+            emit(frag);
+        }
+        let mut body = String::new();
+        push(&mut body, emit, &yield_head_fragment(req));
+        let sweep = if progressive {
+            let mut nominal_points = Vec::with_capacity(req.points.len());
+            let mut points = Vec::with_capacity(req.points.len());
+            for i in 0..req.points.len() {
+                let (nominal_range, sample_range) = plan.point_ranges(i);
+                let nominal_count = nominal_range.len();
+                let round: Vec<CellSpec> = plan.cells()[nominal_range]
+                    .iter()
+                    .chain(&plan.cells()[sample_range])
+                    .cloned()
+                    .collect();
+                let mut outcomes = self.fill_cells(&round);
+                let sample_outcomes = outcomes.split_off(nominal_count);
+                let (nominal_point, point) = plan.assemble_point(i, outcomes, sample_outcomes);
+                push(&mut body, emit, &yield_point_fragment(&point, i == 0));
+                nominal_points.push(nominal_point);
+                points.push(point);
+            }
+            plan.finish(nominal_points, points)
+        } else {
+            let outcomes = self.fill_cells(plan.cells());
+            let sweep = plan.assemble(outcomes);
+            for (i, point) in sweep.points.iter().enumerate() {
+                push(&mut body, emit, &yield_point_fragment(point, i == 0));
+            }
+            sweep
+        };
+        push(&mut body, emit, &yield_tail_fragment(&sweep));
+        body
+    }
 }
 
 #[cfg(test)]
@@ -1567,5 +1961,111 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(best(&a.sweep), best(&full), "identical optimum");
+    }
+
+    fn yield_req(body: &str) -> Result<YieldRequest, ApiError> {
+        YieldRequest::from_json(&Json::parse(body).expect("test body parses"), &limits())
+    }
+
+    #[test]
+    fn yield_request_splits_shape_errors_from_distribution_errors() {
+        // Shape problems fail like every other endpoint: 422 invalid_request.
+        let err = yield_req(r#"{"samples":0}"#).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "invalid_request"));
+        let err = yield_req(r#"{"samples":513}"#).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "invalid_request"));
+        let err = yield_req(r#"{"sigma_fo4":"wide"}"#).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "invalid_request"));
+        assert!(yield_req(r#"{"sigmas":0.1}"#).is_err(), "typo'd field");
+        // Semantically impossible distributions get the structured 400.
+        for body in [
+            r#"{"sigma_fo4":-0.1}"#,
+            r#"{"sigma_latch":-0.5}"#,
+            r#"{"distribution":"cauchy"}"#,
+            r#"{"systematic_fo4":1.5}"#,
+            r#"{"guardband":-0.2}"#,
+            r#"{"logic_depth":0}"#,
+        ] {
+            let err = yield_req(body).unwrap_err();
+            assert_eq!(
+                (err.status, err.code),
+                (400, "invalid_distribution"),
+                "body {body} => {}",
+                err.message
+            );
+        }
+        // The defaulted request is a complete, valid configuration.
+        let req = yield_req("{}").expect("defaults are valid");
+        assert_eq!(req.variation.samples, VariationSpec::new(1).samples);
+    }
+
+    #[test]
+    fn yield_fingerprints_address_variation_but_not_stream() {
+        let base = yield_req(r#"{"benchmarks":["164.gzip"],"points":[6]}"#).unwrap();
+        let streamed =
+            yield_req(r#"{"benchmarks":["164.gzip"],"points":[6],"stream":true}"#).unwrap();
+        assert_eq!(
+            base.fingerprint(),
+            streamed.fingerprint(),
+            "stream is transport framing"
+        );
+        for body in [
+            r#"{"benchmarks":["164.gzip"],"points":[6],"variation_seed":2}"#,
+            r#"{"benchmarks":["164.gzip"],"points":[6],"samples":7}"#,
+            r#"{"benchmarks":["164.gzip"],"points":[6],"sigma_fo4":0.09}"#,
+            r#"{"benchmarks":["164.gzip"],"points":[6],"distribution":"uniform"}"#,
+            r#"{"benchmarks":["164.gzip"],"points":[6],"guardband":0.11}"#,
+        ] {
+            let other = yield_req(body).unwrap();
+            assert_ne!(base.fingerprint(), other.fingerprint(), "body {body}");
+        }
+    }
+
+    #[test]
+    fn yield_fragments_assemble_canonically_and_share_the_cell_cache() {
+        let engine = Engine::new(16, 256, 8);
+        // Warm the nominal cells through the plain sweep path first: the
+        // yield sweep must reuse them, not resimulate.
+        let plain =
+            sweep_req(r#"{"benchmarks":["164.gzip"],"points":[4,8],"warmup":1000,"measure":3000}"#)
+                .unwrap();
+        engine.sweep(&plain, false);
+        let nominal_misses = engine.cells.stats().misses;
+        assert_eq!(nominal_misses, 2);
+
+        let req = yield_req(
+            r#"{"benchmarks":["164.gzip"],"points":[4,8],"warmup":1000,"measure":3000,
+                "samples":4,"variation_seed":3}"#,
+        )
+        .unwrap();
+        let mut frags = Vec::new();
+        let streamed = engine.yield_body(&req, true, &mut |f| frags.push(f.to_string()));
+        assert_eq!(frags.concat(), streamed, "emitted == returned");
+        assert_eq!(frags.len(), req.points.len() + 2, "head, per-point, tail");
+        let buffered = engine.yield_body(&req, false, &mut |_| {});
+        assert_eq!(streamed, buffered, "progressive == buffered, byte for byte");
+        let doc = Json::parse(&buffered).expect("assembled body parses");
+        assert_eq!(doc.pretty(), buffered, "fragments == canonical pretty");
+
+        let s = engine.cells.stats();
+        assert_eq!(
+            s.misses - nominal_misses,
+            2 * 4,
+            "only the per-die cells simulated"
+        );
+        assert!(s.hits >= 2, "nominal cells came from the shared tier");
+        assert_eq!(engine.yields.sweeps.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.yields.mc_samples.load(Ordering::Relaxed), 2 * 2 * 4);
+
+        // A repeat through the single-flight summary path is pure cache.
+        let first = engine.yield_summary(&req);
+        assert_eq!(*first.as_ref(), buffered);
+        let again = engine.yield_summary(&req);
+        assert_eq!(first, again);
+        assert_eq!(
+            engine.cells.stats().misses,
+            s.misses,
+            "repeat cost zero simulations"
+        );
     }
 }

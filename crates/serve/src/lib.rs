@@ -44,11 +44,11 @@ use std::time::{Duration, Instant};
 
 use fo4depth_util::{Json, JsonLimits};
 
-use api::{ApiError, CellsRequest, Engine, RequestLimits, RunRequest, SweepRequest};
+use api::{ApiError, CellsRequest, Engine, RequestLimits, RunRequest, SweepRequest, YieldRequest};
 use http::{
     error_body, read_request, write_error, write_response, ChunkedWriter, HttpError, Request,
 };
-use metrics::{cache_json, store_json, sweeps_json, Endpoint, RequestMetrics};
+use metrics::{cache_json, store_json, sweeps_json, yields_json, Endpoint, RequestMetrics};
 use router::{Upstream, UpstreamConfig};
 use store::{CellStore, FsyncPolicy, NoFault, StoreConfig};
 
@@ -447,6 +447,10 @@ fn handle_connection(state: &State, stream: &mut TcpStream) {
             let (status, alive) = handle_cells(state, stream, &request, keep);
             record(state, Endpoint::Cells, status, started);
             alive
+        } else if request.method == "POST" && request.path == "/v1/yield" {
+            let (status, alive) = handle_yield(state, stream, &request, keep);
+            record(state, Endpoint::Yield, status, started);
+            alive
         } else {
             let (endpoint, outcome) = route(state, &request);
             match outcome {
@@ -501,13 +505,65 @@ fn handle_sweep(
         writer.chunk(frag.as_bytes());
     });
     let delivered = !writer.failed();
-    let (chunks, finished) = writer.finish();
-    state.engine.sweeps.record_stream(chunks);
+    // Count the finished stream before the terminator goes out: the
+    // instant the peer sees the end of the stream it may query /metrics,
+    // and the completed stream must already be visible there.
+    state.engine.sweeps.record_stream(writer.chunks());
+    let (_, finished) = writer.finish();
     if delivered {
         state
             .engine
             .responses
             .insert(req.fingerprint("sweep"), Arc::new(body));
+    }
+    (200, keep && finished)
+}
+
+/// `POST /v1/yield`, buffered or streamed — the same delivery contract as
+/// `/v1/sweep`: the streamed fragment sequence concatenates to the
+/// buffered body byte for byte, and a delivered streamed body is
+/// installed into the response tier so it warms its buffered twin.
+fn handle_yield(
+    state: &State,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> (u16, bool) {
+    let req = match parse_body(state, request)
+        .and_then(|doc| to_http(YieldRequest::from_json(&doc, &state.config.limits)))
+    {
+        Ok(req) => req,
+        Err(e) => {
+            if e.code == "invalid_distribution" {
+                state
+                    .engine
+                    .yields
+                    .invalid_distribution
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            write_error(stream, &e);
+            return (e.status, false);
+        }
+    };
+    if !req.stream {
+        let body = state.engine.yield_summary(&req);
+        http::write_response_conn(stream, 200, &[], body.as_bytes(), keep);
+        return (200, keep);
+    }
+    let mut writer = ChunkedWriter::start_conn(stream, 200, &[], "application/json", keep);
+    let body = state.engine.yield_body(&req, true, &mut |frag| {
+        writer.chunk(frag.as_bytes());
+    });
+    let delivered = !writer.failed();
+    // Same ordering as `handle_sweep`: record before the terminator so a
+    // peer that races straight to /metrics sees the finished stream.
+    state.engine.yields.record_stream(writer.chunks());
+    let (_, finished) = writer.finish();
+    if delivered {
+        state
+            .engine
+            .responses
+            .insert(req.fingerprint(), Arc::new(body));
     }
     (200, keep && finished)
 }
@@ -605,7 +661,10 @@ fn route(state: &State, request: &Request) -> (Endpoint, Result<Arc<String>, Htt
                 Json::obj(vec![("status", Json::str("ok"))]).render(),
             )),
         ),
-        ("GET" | "POST", "/v1/report" | "/v1/sweep" | "/v1/run" | "/metrics" | "/healthz") => (
+        (
+            "GET" | "POST",
+            "/v1/report" | "/v1/sweep" | "/v1/run" | "/v1/yield" | "/metrics" | "/healthz",
+        ) => (
             Endpoint::Other,
             Err(HttpError {
                 status: 405,
@@ -687,6 +746,7 @@ fn metrics_body(state: &State) -> String {
             }),
         ),
         ("sweeps", sweeps_json(&state.engine.sweeps)),
+        ("yield", yields_json(&state.engine.yields)),
     ];
     // Router mode: the shard tier's per-shard routing counters and
     // failover accounting join the document.

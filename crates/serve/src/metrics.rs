@@ -25,6 +25,8 @@ pub enum Endpoint {
     Run,
     /// `POST /v1/cells` (the shard-internal scatter endpoint).
     Cells,
+    /// `POST /v1/yield`.
+    Yield,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
@@ -34,11 +36,12 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Report,
         Endpoint::Sweep,
         Endpoint::Run,
         Endpoint::Cells,
+        Endpoint::Yield,
         Endpoint::Metrics,
         Endpoint::Health,
         Endpoint::Other,
@@ -50,6 +53,7 @@ impl Endpoint {
             Endpoint::Sweep => "sweep",
             Endpoint::Run => "run",
             Endpoint::Cells => "cells",
+            Endpoint::Yield => "yield",
             Endpoint::Metrics => "metrics",
             Endpoint::Health => "healthz",
             Endpoint::Other => "other",
@@ -62,9 +66,10 @@ impl Endpoint {
             Endpoint::Sweep => 1,
             Endpoint::Run => 2,
             Endpoint::Cells => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Health => 5,
-            Endpoint::Other => 6,
+            Endpoint::Yield => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Health => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -186,6 +191,35 @@ pub fn sweeps_json(counters: &crate::api::SweepCounters) -> Json {
         (
             "stream_chunks",
             Json::uint(counters.stream_chunks.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
+/// Renders the engine's [`YieldCounters`](crate::api::YieldCounters) as
+/// the `yield` member of the `/metrics` document.
+#[must_use]
+pub fn yields_json(counters: &crate::api::YieldCounters) -> Json {
+    use std::sync::atomic::Ordering;
+    Json::obj(vec![
+        (
+            "sweeps",
+            Json::uint(counters.sweeps.load(Ordering::Relaxed)),
+        ),
+        (
+            "mc_samples",
+            Json::uint(counters.mc_samples.load(Ordering::Relaxed)),
+        ),
+        (
+            "streamed",
+            Json::uint(counters.streamed.load(Ordering::Relaxed)),
+        ),
+        (
+            "stream_chunks",
+            Json::uint(counters.stream_chunks.load(Ordering::Relaxed)),
+        ),
+        (
+            "invalid_distribution",
+            Json::uint(counters.invalid_distribution.load(Ordering::Relaxed)),
         ),
     ])
 }

@@ -33,6 +33,7 @@ pub mod dist;
 pub mod fsio;
 pub mod hash;
 pub mod json;
+pub mod rand;
 pub mod rng;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use dist::{Discrete, Geometric, Zipf};
 pub use fsio::TempDir;
 pub use hash::{fnv1a, Fnv64};
 pub use json::{Json, JsonError, JsonLimits};
+pub use rand::Substreams;
 pub use rng::{Rng64, SplitMix64, Xoshiro256StarStar};
 pub use stats::{harmonic_mean, Histogram, RunningStats};

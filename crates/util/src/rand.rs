@@ -1,0 +1,169 @@
+//! Splittable deterministic substreams for Monte Carlo sampling.
+//!
+//! The process-variation subsystem draws one random value per
+//! `(sample, stage, component)` coordinate of its Monte Carlo plan. The
+//! plan fans out across a work pool, lane batches, and — behind a router —
+//! a shard ring, so the order in which coordinates are *visited* depends on
+//! jobs, lanes, and topology. The draws must not: a yield sweep is part of
+//! the byte-identity contract (`tests/yield_sweep.rs`).
+//!
+//! A sequential generator cannot give that — its `k`-th output depends on
+//! who consumed outputs `0..k` first. [`Substreams`] therefore derives
+//! every stream *by position*: a root seed plus an integer path (any
+//! length) is hashed through [`SplitMix64::mix`] into an independent
+//! generator state, so `streams.stream(&[sample, stage, component])` is a
+//! pure function of its coordinates. Two paths collide only if the mix
+//! chain collides (no structural collisions: the path length is folded in,
+//! so `[1]` and `[1, 0]` land apart).
+//!
+//! # Examples
+//!
+//! ```
+//! use fo4depth_util::rand::Substreams;
+//! use fo4depth_util::Rng64;
+//!
+//! let streams = Substreams::new(42);
+//! // Visiting order does not matter: each coordinate owns its stream.
+//! let late = streams.stream(&[7, 3, 1]).next_f64();
+//! let early = streams.stream(&[0, 0, 0]).next_f64();
+//! assert_eq!(late, streams.stream(&[7, 3, 1]).next_f64());
+//! assert_ne!(late, early);
+//! ```
+
+use crate::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+/// Domain-separation constant folded into every root so a [`Substreams`]
+/// at seed `s` never aliases a plain `Xoshiro256StarStar::seed_from_u64(s)`
+/// consumer of the same seed.
+const DOMAIN: u64 = 0x5b8f_a3d2_c417_096e;
+
+/// Weyl increment (golden-ratio constant) separating path levels, the same
+/// constant `SplitMix64` steps by.
+const LEVEL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A family of independent, position-addressed random streams.
+///
+/// Cheap to copy (one word); derivation costs a handful of multiplies per
+/// path element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Substreams {
+    root: u64,
+}
+
+impl Substreams {
+    /// A stream family rooted at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            root: SplitMix64::mix(seed ^ DOMAIN),
+        }
+    }
+
+    /// The 64-bit state derived for `path` — the address every other
+    /// accessor is built on. Stable forever: pinned by reference outputs
+    /// in this module's tests.
+    #[must_use]
+    pub fn derive(&self, path: &[u64]) -> u64 {
+        let mut h = self.root;
+        for (level, &p) in path.iter().enumerate() {
+            // Mix each element with its level so permuted paths differ,
+            // then re-mix the accumulator so prefixes diffuse fully.
+            let keyed = SplitMix64::mix(p ^ LEVEL.wrapping_mul(level as u64 + 1));
+            h = SplitMix64::mix(h ^ keyed);
+        }
+        // Fold the length in so a path is never a prefix of another.
+        SplitMix64::mix(h ^ (path.len() as u64))
+    }
+
+    /// An independent generator for `path`, usable for any number of
+    /// draws. The same path always yields the same stream.
+    #[must_use]
+    pub fn stream(&self, path: &[u64]) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(self.derive(path))
+    }
+
+    /// The first uniform draw of `path`'s stream, in `[0, 1)` — the
+    /// common case for one-value-per-coordinate samplers.
+    #[must_use]
+    pub fn unit_f64(&self, path: &[u64]) -> f64 {
+        self.stream(path).next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_outputs_are_pinned_forever() {
+        // The derived states are cache-key material for the variation
+        // subsystem (sample fingerprints fold them in via the draws they
+        // produce), so they are part of the repository's byte-identity
+        // contract. Never change these values.
+        let s = Substreams::new(0);
+        assert_eq!(s.derive(&[]), 0x3087_83dc_e5d1_a219);
+        assert_eq!(s.derive(&[0]), 0x28b0_e57e_5288_4620);
+        assert_eq!(s.derive(&[0, 0]), 0xecef_180d_6fa1_39ad);
+        let s1 = Substreams::new(1);
+        assert_eq!(s1.derive(&[1, 2, 3]), 0xcc6f_92ba_86b5_3f70);
+    }
+
+    #[test]
+    fn paths_do_not_collide_structurally() {
+        let s = Substreams::new(7);
+        // Prefix, permutation, and level shifts must all separate.
+        assert_ne!(s.derive(&[1]), s.derive(&[1, 0]));
+        assert_ne!(s.derive(&[1, 2]), s.derive(&[2, 1]));
+        assert_ne!(s.derive(&[0, 1]), s.derive(&[1, 0]));
+        assert_ne!(s.derive(&[]), s.derive(&[0]));
+        assert_ne!(
+            Substreams::new(0).derive(&[5]),
+            Substreams::new(1).derive(&[5])
+        );
+    }
+
+    #[test]
+    fn streams_are_stateless_by_position() {
+        let s = Substreams::new(99);
+        let mut a = s.stream(&[3, 1, 4]);
+        let first = (a.next_u64(), a.next_u64());
+        let mut b = s.stream(&[3, 1, 4]);
+        assert_eq!(first, (b.next_u64(), b.next_u64()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Stream independence: distinct coordinates give distinct draws
+        /// (collisions are 2^-53-probable; the strategy space is tiny
+        /// enough that any systematic aliasing would show immediately).
+        #[test]
+        fn distinct_paths_draw_independently(
+            seed in any::<u64>(),
+            a in proptest::collection::vec(0u64..1000, 1..4),
+            b in proptest::collection::vec(0u64..1000, 1..4),
+        ) {
+            let s = Substreams::new(seed);
+            if a != b {
+                prop_assert_ne!(s.derive(&a), s.derive(&b));
+                prop_assert_ne!(s.unit_f64(&a), s.unit_f64(&b));
+            }
+        }
+
+        /// Stability: derivation is a pure function — repeated calls and
+        /// copies of the family agree, and the unit draw is in [0, 1).
+        #[test]
+        fn derivation_is_pure_and_unit_draws_bounded(
+            seed in any::<u64>(),
+            path in proptest::collection::vec(any::<u64>(), 0..5),
+        ) {
+            let s = Substreams::new(seed);
+            let copy = s;
+            prop_assert_eq!(s.derive(&path), copy.derive(&path));
+            let u = s.unit_f64(&path);
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert_eq!(u, s.unit_f64(&path));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Prints the default configuration's yield curve, fast path vs
+//! Monte Carlo (draw math only — no pipeline simulation).
+
+use fo4depth_circuit::DeviceParams;
+use fo4depth_variation::{FastPath, Sampler, VariationSpec};
+
+fn main() {
+    let spec = VariationSpec::new(1);
+    let s = Sampler::new(spec, DeviceParams::at_100nm(), 1.8);
+    let f = FastPath::new(spec, DeviceParams::at_100nm(), s.overhead_components());
+    let dies: Vec<_> = (0..128).map(|i| s.die(i)).collect();
+    println!("sigma_u_sys = {:.4}", f.unit_sigma_systematic());
+    for t in 2..=16 {
+        let t = t as f64;
+        let mc = dies.iter().filter(|d| s.functional(d, t)).count() as f64 / 128.0;
+        println!("t = {t:5.1}  fast = {:.4}  mc = {:.4}", f.yield_at(t), mc);
+    }
+}

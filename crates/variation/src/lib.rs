@@ -1,0 +1,43 @@
+//! Process-variation modelling for the pipeline logic-depth study.
+//!
+//! The paper's 6–8 FO4 optimum charges every stage exactly its nominal
+//! delay budget. In sub-100 nm technologies the per-stage delay is a random
+//! variable: lithography and dopant fluctuation perturb the FO4 unit
+//! itself, and the latch D-Q, clock-skew, and jitter overheads vary die to
+//! die and stage to stage. Datta et al. (*Statistical Modeling of Pipeline
+//! Delay … to Enhance Yield in sub-100nm Technologies*) show that once
+//! frequency binning is yield-weighted, the optimal pipeline is *shallower*
+//! than the nominal-delay optimum — deep pipelines lose more dies to
+//! variation than they gain in clock rate.
+//!
+//! This crate supplies the statistical substrate of that extension:
+//!
+//! * [`dist`] — per-component delay distributions (normal, lognormal,
+//!   uniform), each split into a **systematic** (die-level, shared by every
+//!   stage) and a **random** (per-stage) channel;
+//! * [`sampler`] — the seeded, deterministic die sampler: the systematic
+//!   FO4 draw perturbs [`DeviceParams`](fo4depth_circuit::DeviceParams)
+//!   (gate length and thresholds) and the perturbed device is measured by
+//!   the real transient FO4 chain (`fo4depth_circuit::fo4meas`), so every
+//!   Monte Carlo die flows through the same circuit model as the nominal
+//!   study. Every draw is addressed by a `(sample, stage, component)`
+//!   substream ([`fo4depth_util::rand::Substreams`]), so results are
+//!   byte-identical at any worker count, lane width, or shard topology;
+//! * [`moments`] — the variance-propagation fast path: first-order moment
+//!   propagation through the cycle-time model (with numerically measured
+//!   device sensitivities) and a closed-form-plus-quadrature yield
+//!   integral, answering interactively while Monte Carlo verifies.
+//!
+//! The driver that turns samples into simulations lives in
+//! `fo4depth_study::yield_sweep`; this crate is deliberately free of any
+//! simulator dependency.
+
+pub mod dist;
+pub mod moments;
+pub mod sampler;
+pub mod spec;
+
+pub use dist::{normal_cdf, normal_icdf, ComponentSpec, DistKind, VariationError};
+pub use moments::FastPath;
+pub use sampler::{DieSample, Sampler};
+pub use spec::VariationSpec;

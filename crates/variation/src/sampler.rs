@@ -1,0 +1,305 @@
+//! The seeded die sampler: coordinates → delay draws → perturbed devices.
+//!
+//! A Monte Carlo *die* is defined entirely by its sample index: every draw
+//! it consumes is addressed by a `(sample, channel, component)` substream
+//! path, so dies can be materialized in any order, on any worker, on any
+//! shard, and come out bit-identical. The systematic FO4 draw does not
+//! scale a delay directly — it perturbs the die's [`DeviceParams`] (gate
+//! length via the component factor, thresholds via a correlated Gaussian)
+//! and the perturbed device is then measured by the real transient FO4
+//! chain, so Monte Carlo flows through the same circuit model as the
+//! nominal study.
+//!
+//! Per-stage delays combine the die-level ratio with the per-stage random
+//! channels; a die is *functional* at a grid point when every stage fits
+//! the guardbanded clock budget.
+
+use fo4depth_circuit::{fo4meas, DeviceParams};
+use fo4depth_fo4::Overheads;
+use fo4depth_util::Substreams;
+
+use crate::spec::VariationSpec;
+
+/// Component index of the FO4 unit in substream paths.
+pub const COMPONENT_FO4: u64 = 0;
+/// Component index of the latch D-Q overhead.
+pub const COMPONENT_LATCH: u64 = 1;
+/// Component index of the clock-skew overhead.
+pub const COMPONENT_SKEW: u64 = 2;
+/// Component index of the clock-jitter overhead.
+pub const COMPONENT_JITTER: u64 = 3;
+
+/// Channel sentinel for die-level systematic draws (real stages count up
+/// from zero, so the top of the index space is free).
+const CHANNEL_SYS: u64 = u64::MAX;
+/// Channel sentinel for the die-level threshold-voltage draw.
+const CHANNEL_VT: u64 = u64::MAX - 1;
+
+/// Threshold-voltage shift, in volts, per sigma of systematic FO4
+/// variation per standard normal deviate. Couples the die's corner to its
+/// Vt so the device measurement reflects both mechanisms (ΔL and ΔVt are
+/// the two first-order delay levers the device model exposes).
+pub const VT_VOLTS_PER_SIGMA: f64 = 0.15;
+
+/// One sampled die: its perturbed device, measured FO4, and the die-level
+/// systematic factors every stage shares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieSample {
+    /// Sample index within the Monte Carlo plan.
+    pub index: u64,
+    /// The perturbed device parameters.
+    pub device: DeviceParams,
+    /// Measured FO4 of the perturbed device (ps).
+    pub fo4_ps: f64,
+    /// This die's FO4 relative to nominal (`fo4_ps / nominal_fo4_ps`).
+    pub unit_ratio: f64,
+    /// Die-level systematic factors for `[latch, skew, jitter]`.
+    pub overhead_factors: [f64; 3],
+}
+
+/// The deterministic die sampler for one variation configuration.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    spec: VariationSpec,
+    streams: Substreams,
+    nominal: DeviceParams,
+    nominal_fo4_ps: f64,
+    /// Nominal overhead components `[latch, skew, jitter]` in FO4 units.
+    overhead: [f64; 3],
+    overhead_total: f64,
+}
+
+impl Sampler {
+    /// A sampler for `spec` over the given nominal device, with the total
+    /// clocking overhead (FO4) split into latch/skew/jitter components in
+    /// the paper's ISCA 2002 proportions (1.0 : 0.3 : 0.5).
+    ///
+    /// Measures the nominal FO4 once up front (one transient pair).
+    #[must_use]
+    pub fn new(spec: VariationSpec, nominal: DeviceParams, overhead_total: f64) -> Self {
+        let paper = Overheads::isca2002();
+        let scale = if overhead_total > 0.0 {
+            overhead_total / paper.total().get()
+        } else {
+            0.0
+        };
+        Self {
+            spec,
+            streams: Substreams::new(spec.seed),
+            nominal,
+            nominal_fo4_ps: fo4meas::measure_fo4(&nominal).picoseconds(),
+            overhead: [
+                paper.latch().get() * scale,
+                paper.skew().get() * scale,
+                paper.jitter().get() * scale,
+            ],
+            overhead_total,
+        }
+    }
+
+    /// The configuration this sampler draws from.
+    #[must_use]
+    pub fn spec(&self) -> &VariationSpec {
+        &self.spec
+    }
+
+    /// Nominal FO4 of the unperturbed device (ps).
+    #[must_use]
+    pub fn nominal_fo4_ps(&self) -> f64 {
+        self.nominal_fo4_ps
+    }
+
+    /// Nominal overhead components `[latch, skew, jitter]` (FO4).
+    #[must_use]
+    pub fn overhead_components(&self) -> [f64; 3] {
+        self.overhead
+    }
+
+    /// The die-level device perturbation for `sample`, without the FO4
+    /// measurement: the systematic FO4 factor scales the gate length, and
+    /// an independent standard-normal deviate shifts both thresholds by
+    /// [`VT_VOLTS_PER_SIGMA`] volts per systematic sigma.
+    #[must_use]
+    pub fn perturbed_device(&self, sample: u64) -> DeviceParams {
+        let u_len = self.streams.unit_f64(&[sample, CHANNEL_SYS, COMPONENT_FO4]);
+        let f_len = self.spec.fo4.systematic_factor(u_len);
+        let mut device = self.nominal.scaled_to(self.nominal.length * f_len);
+
+        let u_vt = self.streams.unit_f64(&[sample, CHANNEL_VT, COMPONENT_FO4]);
+        let g_vt = crate::dist::normal_icdf(u_vt);
+        let shift = VT_VOLTS_PER_SIGMA * self.spec.fo4.sigma_systematic() * g_vt;
+        // Keep thresholds physical: comfortably above zero, below the rail.
+        let clamp = |vt: f64| (vt + shift).clamp(0.05, device.vdd - 0.2);
+        device.vtn = clamp(device.vtn);
+        device.vtp = clamp(device.vtp);
+        device
+    }
+
+    /// Materializes die `sample`: perturbs the device, measures its FO4,
+    /// and draws the die-level overhead factors. Costs one FO4 transient
+    /// pair; cache the result per sample when iterating over grid points.
+    #[must_use]
+    pub fn die(&self, sample: u64) -> DieSample {
+        let device = self.perturbed_device(sample);
+        let fo4_ps = fo4meas::measure_fo4(&device).picoseconds();
+        let components = [&self.spec.latch, &self.spec.skew, &self.spec.jitter];
+        let mut overhead_factors = [1.0; 3];
+        for (slot, (component, index)) in overhead_factors.iter_mut().zip(components.iter().zip([
+            COMPONENT_LATCH,
+            COMPONENT_SKEW,
+            COMPONENT_JITTER,
+        ])) {
+            let u = self.streams.unit_f64(&[sample, CHANNEL_SYS, index]);
+            *slot = component.systematic_factor(u);
+        }
+        DieSample {
+            index: sample,
+            device,
+            fo4_ps,
+            unit_ratio: fo4_ps / self.nominal_fo4_ps,
+            overhead_factors,
+        }
+    }
+
+    /// Delay of one pipeline stage in *nominal* FO4 units: the useful
+    /// logic scaled by the die's FO4 ratio and a per-stage random factor,
+    /// plus each overhead component scaled by its die-level and per-stage
+    /// factors.
+    #[must_use]
+    pub fn stage_delay(&self, die: &DieSample, t_useful: f64, stage: u64) -> f64 {
+        let u_logic = self.streams.unit_f64(&[die.index, stage, COMPONENT_FO4]);
+        // The stage's t FO4 of logic average t independent per-gate
+        // mismatches, so the random channel shrinks by √t — the
+        // central-limit effect that penalizes short stages.
+        let logic_factor = self.spec.fo4.random_factor_averaged(u_logic, t_useful);
+        let mut delay = t_useful * die.unit_ratio * logic_factor;
+        let components = [&self.spec.latch, &self.spec.skew, &self.spec.jitter];
+        let indices = [COMPONENT_LATCH, COMPONENT_SKEW, COMPONENT_JITTER];
+        for c in 0..3 {
+            let u = self.streams.unit_f64(&[die.index, stage, indices[c]]);
+            delay += self.overhead[c] * die.overhead_factors[c] * components[c].random_factor(u);
+        }
+        delay
+    }
+
+    /// The guardbanded stage budget at `t_useful` (nominal FO4 units).
+    #[must_use]
+    pub fn budget(&self, t_useful: f64) -> f64 {
+        (t_useful + self.overhead_total) * (1.0 + self.spec.guardband)
+    }
+
+    /// The slowest stage of `die` at grid point `t_useful` (nominal FO4).
+    #[must_use]
+    pub fn worst_stage_delay(&self, die: &DieSample, t_useful: f64) -> f64 {
+        let stages = self.spec.stages(t_useful);
+        (0..u64::from(stages))
+            .map(|stage| self.stage_delay(die, t_useful, stage))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `die` meets timing at `t_useful`: every stage inside the
+    /// guardbanded budget.
+    #[must_use]
+    pub fn functional(&self, die: &DieSample, t_useful: f64) -> bool {
+        self.worst_stage_delay(die, t_useful) <= self.budget(t_useful)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(spec: VariationSpec) -> Sampler {
+        Sampler::new(spec, DeviceParams::at_100nm(), 1.8)
+    }
+
+    fn zero_sigma_spec() -> VariationSpec {
+        let mut spec = VariationSpec::new(1);
+        for c in [
+            &mut spec.fo4,
+            &mut spec.latch,
+            &mut spec.skew,
+            &mut spec.jitter,
+        ] {
+            c.sigma = 0.0;
+        }
+        spec
+    }
+
+    #[test]
+    fn zero_sigma_reproduces_the_nominal_study() {
+        let s = sampler(zero_sigma_spec());
+        let die = s.die(0);
+        assert_eq!(die.unit_ratio, 1.0);
+        assert_eq!(die.overhead_factors, [1.0; 3]);
+        assert_eq!(die.device, DeviceParams::at_100nm());
+        // Every stage delay is exactly t + overhead, inside any guardband.
+        for t in [2.0, 6.0, 16.0] {
+            assert!((s.stage_delay(&die, t, 0) - (t + 1.8)).abs() < 1e-12);
+            assert!(s.functional(&die, t));
+        }
+    }
+
+    #[test]
+    fn dies_are_deterministic_and_order_independent() {
+        let s = sampler(VariationSpec::new(7));
+        let late = s.die(13);
+        let early = s.die(2);
+        // Re-materializing in the opposite order changes nothing.
+        let s2 = sampler(VariationSpec::new(7));
+        assert_eq!(s2.die(2), early);
+        assert_eq!(s2.die(13), late);
+        assert_eq!(
+            s.stage_delay(&late, 6.0, 5).to_bits(),
+            s2.stage_delay(&late, 6.0, 5).to_bits()
+        );
+    }
+
+    #[test]
+    fn seeds_and_samples_decorrelate_dies() {
+        let s = sampler(VariationSpec::new(1));
+        let a = s.die(0);
+        let b = s.die(1);
+        assert_ne!(a.unit_ratio, b.unit_ratio);
+        let other = sampler(VariationSpec::new(2));
+        assert_ne!(other.die(0).unit_ratio, a.unit_ratio);
+    }
+
+    #[test]
+    fn perturbation_stays_physical_and_near_nominal() {
+        let s = sampler(VariationSpec::new(3));
+        for sample in 0..16 {
+            let die = s.die(sample);
+            assert!(die.device.length > 0.0);
+            assert!(die.device.vtn >= 0.05 && die.device.vtn < die.device.vdd);
+            // 4 % sigma keeps the measured ratio well inside ±25 %.
+            assert!(
+                (0.75..1.25).contains(&die.unit_ratio),
+                "sample {sample}: ratio {}",
+                die.unit_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn deep_pipelines_lose_more_dies() {
+        // The Datta et al. mechanism: at small t_useful the overhead
+        // variance is a larger share of the budget AND there are more
+        // stages to violate it, so yield falls as pipelines deepen.
+        let mut spec = VariationSpec::new(11);
+        spec.samples = 48;
+        let s = sampler(spec);
+        let yield_at =
+            |t: f64| (0..48).filter(|&i| s.functional(&s.die(i), t)).count() as f64 / 48.0;
+        let deep = yield_at(2.0);
+        let shallow = yield_at(12.0);
+        assert!(
+            deep < shallow,
+            "expected deep-pipeline yield loss: y(2) = {deep}, y(12) = {shallow}"
+        );
+        assert!(
+            shallow > 0.5,
+            "shallow point should mostly yield: {shallow}"
+        );
+    }
+}

@@ -39,7 +39,9 @@ use fo4depth::study::sweep::{
     AdaptiveSweep, CoreKind, DepthSweep, SweepSpec,
 };
 use fo4depth::study::validation::{self, Bands};
+use fo4depth::study::yield_sweep::yield_sweep_spec;
 use fo4depth::util::args::{ArgError, Args};
+use fo4depth::variation::{DistKind, VariationSpec};
 use fo4depth::workload::{profiles, BenchProfile, TraceArena, TraceGenerator, TraceReader};
 use fo4depth_fo4::TechNode;
 use fo4depth_pipeline::OutOfOrderCore;
@@ -59,6 +61,16 @@ fn usage() -> ExitCode {
            validate                        workload calibration at the Alpha point\n\
            floorplan                       structure areas and wire distances\n\
            experiments                     list the paper's experiments\n\
+           yield [--core ooo|inorder] [--overhead F] [--quick] [--warmup N]\n\
+                 [--measure N] [--seed N] [--bench NAME[,NAME...]] [--samples N]\n\
+                 [--variation-seed N] [--distribution normal|lognormal|uniform]\n\
+                 [--sigma-fo4 F] [--sigma-overhead F] [--systematic-fo4 F]\n\
+                 [--systematic-overhead F] [--logic-depth F] [--guardband F]\n\
+                 [--jobs N] [--batch-lanes N|on|max|auto|off]\n\
+                  yield-aware depth sweep: Monte Carlo over process\n\
+                  variation plus the variance-propagation fast path;\n\
+                  reports per-point yield curves and the yield-weighted\n\
+                  optimum alongside the nominal one\n\
            report [--core ooo|inorder] [--bench NAME[,NAME...]] [--points F[,F...]]\n\
                   [--quick] [--warmup N] [--measure N] [--seed N] [--out FILE] [--jobs N]\n\
                   [--batch-lanes N|on|max|auto|off] [--sweep-mode dense|adaptive]\n\
@@ -446,6 +458,119 @@ fn cmd_replay(mut args: Args) -> Result<ExitCode, ArgError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses the `--samples`/`--variation-seed`/`--distribution`/`--sigma-*`
+/// knobs into a [`VariationSpec`], validated.
+fn variation_from(args: &mut Args) -> Result<VariationSpec, ArgError> {
+    let mut v = VariationSpec::new(args.take_opt("--variation-seed")?.unwrap_or(1));
+    if let Some(n) = args.take_opt::<u32>("--samples")? {
+        v.samples = n;
+    }
+    if let Some(kind) = args.take_opt::<String>("--distribution")? {
+        let kind = DistKind::parse(&kind).map_err(|e| ArgError(e.message().to_string()))?;
+        for c in [&mut v.fo4, &mut v.latch, &mut v.skew, &mut v.jitter] {
+            c.kind = kind;
+        }
+    }
+    if let Some(sigma) = args.take_opt::<f64>("--sigma-fo4")? {
+        v.fo4.sigma = sigma;
+    }
+    if let Some(sigma) = args.take_opt::<f64>("--sigma-overhead")? {
+        for c in [&mut v.latch, &mut v.skew, &mut v.jitter] {
+            c.sigma = sigma;
+        }
+    }
+    if let Some(share) = args.take_opt::<f64>("--systematic-fo4")? {
+        v.fo4.systematic = share;
+    }
+    if let Some(share) = args.take_opt::<f64>("--systematic-overhead")? {
+        for c in [&mut v.latch, &mut v.skew, &mut v.jitter] {
+            c.systematic = share;
+        }
+    }
+    if let Some(depth) = args.take_opt::<f64>("--logic-depth")? {
+        v.logic_depth = depth;
+    }
+    if let Some(guardband) = args.take_opt::<f64>("--guardband")? {
+        v.guardband = guardband;
+    }
+    v.validate()
+        .map_err(|e| ArgError(e.message().to_string()))?;
+    Ok(v)
+}
+
+/// The yield-aware depth sweep: Monte Carlo over process variation plus
+/// the moment-propagation fast path, through the same cell machinery as
+/// every other sweep.
+fn cmd_yield(mut args: Args) -> Result<ExitCode, ArgError> {
+    apply_jobs(&mut args)?;
+    let core = core_from(&mut args)?;
+    let overhead = args.take_opt("--overhead")?.unwrap_or(1.8);
+    let quick = args.take_flag("--quick");
+    let batch = batch_lanes_from(&mut args, LaneMode::Off)?;
+    let mut variation = variation_from(&mut args)?;
+    let mut params = params_from(&mut args)?;
+    if quick {
+        params.warmup = params.warmup.min(2_000);
+        params.measure = params.measure.min(8_000);
+        variation.samples = variation.samples.min(32);
+    }
+    let profs = benches_from(&mut args)?;
+    args.finish()?;
+    let structures = StructureSet::alpha_21264();
+    let points = standard_points();
+    let spec = SweepSpec {
+        core,
+        profiles: &profs,
+        params: &params,
+        structures: &structures,
+        overhead: Fo4::new(overhead),
+        points: &points,
+        observed: false,
+    };
+    let pool = fo4depth::exec::global();
+    let lanes = batch.resolve(core, points.len());
+    let sweep = yield_sweep_spec(&spec, variation, pool, lanes)
+        .map_err(|e| ArgError(e.message().to_string()))?;
+    println!(
+        "yield-aware depth sweep: {} core, overhead {overhead} FO4, {} dies (seed {})",
+        match core {
+            CoreKind::OutOfOrder => "out-of-order",
+            CoreKind::InOrder => "in-order",
+        },
+        sweep.samples,
+        variation.seed
+    );
+    println!(
+        "{:>8}  {:>9}  {:>8}  {:>8}  {:>10}  {:>9}  {:>11}",
+        "t_useful", "period_ps", "bips_nom", "yield_mc", "yield_fast", "ywbips_mc", "ywbips_fast"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>8.2}  {:>9.1}  {:>8.3}  {:>8.3}  {:>10.3}  {:>9.3}  {:>11.3}",
+            p.t_useful,
+            p.period_ps,
+            p.bips_nominal,
+            p.yield_mc,
+            p.yield_fast,
+            p.ywbips_mc,
+            p.ywbips_fast
+        );
+    }
+    let (nom_t, nom_bips) = sweep.nominal_optimum();
+    let (mc_t, mc_bips) = sweep.yield_optimum_mc();
+    let (fast_t, fast_bips) = sweep.yield_optimum_fast();
+    let agreement = sweep.agreement();
+    println!("nominal optimum:      {nom_t} FO4 useful ({nom_bips:.3} BIPS)");
+    println!("yield optimum (MC):   {mc_t} FO4 useful ({mc_bips:.3} yield-weighted BIPS)");
+    println!("yield optimum (fast): {fast_t} FO4 useful ({fast_bips:.3} yield-weighted BIPS)");
+    println!(
+        "fast vs MC: max |yield error| {:.3}, optimum {} grid step(s) apart",
+        agreement.max_yield_abs_err,
+        agreement.optimum_step_delta.abs()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_report(mut args: Args) -> Result<ExitCode, ArgError> {
     apply_jobs(&mut args)?;
     let core = core_from(&mut args)?;
@@ -597,17 +722,24 @@ fn shard_perf(
         Ok((sweep, start.elapsed().as_secs_f64()))
     };
 
-    // Baseline: the whole keyspace on one shard.
+    // Baseline: the whole keyspace on one shard. The wall clock starts
+    // before the spawn so `*_wall_seconds` prices the whole deployment
+    // (subprocess startup included), where `*_sim_seconds` prices only the
+    // routed sweep — the gap between them is the fleet's fixed cost.
+    let single_wall_start = std::time::Instant::now();
     let (single_proc, single_addr) = spawn_shard(jobs)?;
     let (single_sweep, single_sim) = route_through(vec![single_addr])?;
+    let single_wall = single_wall_start.elapsed().as_secs_f64();
     drop(single_proc);
 
     // The fleet: fresh processes, so the sharded run is just as cold.
+    let fleet_wall_start = std::time::Instant::now();
     let fleet: Vec<(ShardProc, String)> = (0..shards)
         .map(|_| spawn_shard(jobs))
         .collect::<Result<_, _>>()?;
     let addrs = fleet.iter().map(|(_, a)| a.clone()).collect();
     let (fleet_sweep, fleet_sim) = route_through(addrs)?;
+    let fleet_wall = fleet_wall_start.elapsed().as_secs_f64();
     drop(fleet);
 
     assert_eq!(
@@ -635,6 +767,8 @@ fn shard_perf(
         ("cpus", Json::uint(cpus as u64)),
         ("single_shard_sim_seconds", Json::Num(single_sim)),
         ("sharded_sim_seconds", Json::Num(fleet_sim)),
+        ("single_shard_wall_seconds", Json::Num(single_wall)),
+        ("sharded_wall_seconds", Json::Num(fleet_wall)),
         ("shard_speedup", Json::Num(speedup)),
     ]))
 }
@@ -797,8 +931,83 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
     } else {
         None
     };
+    // The yield harness: the Monte Carlo variation sweep on the
+    // out-of-order core, reusing the warm arenas. Runs after `wall` is
+    // captured so `wall_seconds` keeps its historical meaning; the MC cost
+    // is reported on its own as `mc_sim_seconds`.
+    let yield_perf = {
+        use fo4depth::study::yield_sweep::{run_yield_plan, YieldPlan};
+        let mut variation = VariationSpec::new(1);
+        if quick {
+            variation.samples = 24;
+        }
+        let spec = SweepSpec {
+            core: CoreKind::OutOfOrder,
+            profiles: &profs,
+            params: &params,
+            structures: &structures,
+            overhead: Fo4::new(1.8),
+            points: &points,
+            observed: false,
+        };
+        let plan =
+            YieldPlan::build(spec, variation, pool).expect("default variation spec is valid");
+        let mc_cells = plan.sample_cells();
+        let lanes = batch.resolve(CoreKind::OutOfOrder, points.len());
+        let mc_start = std::time::Instant::now();
+        let sweep = run_yield_plan(&plan, &arenas, pool, lanes);
+        let mc_sim = mc_start.elapsed().as_secs_f64();
+        let (nom_t, nom_bips) = sweep.nominal_optimum();
+        let (mc_t, mc_yw) = sweep.yield_optimum_mc();
+        let (fast_t, fast_yw) = sweep.yield_optimum_fast();
+        let agreement = sweep.agreement();
+        eprintln!(
+            "yield: {} dies x {} points in {mc_sim:.3} s \
+             ({:.0} MC cells/s), optimum {mc_t} FO4 vs nominal {nom_t} FO4",
+            sweep.samples,
+            points.len(),
+            mc_cells as f64 / mc_sim
+        );
+        Json::obj(vec![
+            ("samples", Json::uint(u64::from(sweep.samples))),
+            ("mc_cells", Json::uint(mc_cells as u64)),
+            ("mc_sim_seconds", Json::Num(mc_sim)),
+            ("mc_samples_per_sec", Json::Num(mc_cells as f64 / mc_sim)),
+            (
+                "optimum_nominal",
+                Json::obj(vec![
+                    ("t_useful", Json::Num(nom_t)),
+                    ("bips", Json::Num(nom_bips)),
+                ]),
+            ),
+            (
+                "optimum_yield_mc",
+                Json::obj(vec![
+                    ("t_useful", Json::Num(mc_t)),
+                    ("ywbips", Json::Num(mc_yw)),
+                ]),
+            ),
+            (
+                "optimum_yield_fast",
+                Json::obj(vec![
+                    ("t_useful", Json::Num(fast_t)),
+                    ("ywbips", Json::Num(fast_yw)),
+                ]),
+            ),
+            (
+                "agreement",
+                Json::obj(vec![
+                    ("max_yield_abs_err", Json::Num(agreement.max_yield_abs_err)),
+                    (
+                        "optimum_step_delta",
+                        Json::Int(agreement.optimum_step_delta),
+                    ),
+                ]),
+            ),
+        ])
+    };
     let mut doc_fields = vec![
-        ("schema_version", Json::Int(5)),
+        ("schema_version", Json::Int(6)),
         (
             "workload",
             Json::obj(vec![
@@ -836,6 +1045,7 @@ fn cmd_perf(mut args: Args) -> Result<ExitCode, ArgError> {
         ("trace_gen_seconds", Json::Num(trace_gen)),
         ("wall_seconds", Json::Num(wall)),
         ("sweeps", Json::Arr(sweeps)),
+        ("yield", yield_perf),
     ];
     if let Some(sharding) = sharding {
         doc_fields.push(("sharding", sharding));
@@ -1130,6 +1340,7 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }),
+        "yield" => cmd_yield(args),
         "report" => cmd_report(args),
         "perf" => cmd_perf(args),
         "serve" => cmd_serve(args),

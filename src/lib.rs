@@ -45,4 +45,5 @@ pub use fo4depth_serve as serve;
 pub use fo4depth_study as study;
 pub use fo4depth_uarch as uarch;
 pub use fo4depth_util as util;
+pub use fo4depth_variation as variation;
 pub use fo4depth_workload as workload;

@@ -220,9 +220,9 @@ fn first_chunk_arrives_before_the_sweep_completes() {
     let head = client.next_chunk().expect("head fragment");
     assert!(head.contains("\"points\": ["), "head opens the point array");
     assert!(!head.contains("optima"), "head is not the whole body");
-    // The stream-finished counter only moves when the terminator is sent;
-    // holding a data chunk while it still reads 0 proves delivery began
-    // before the sweep completed.
+    // The stream-finished counter only moves once every fragment has been
+    // rendered; holding a data chunk while it still reads 0 proves
+    // delivery began before the sweep completed.
     assert_eq!(
         counter(&metrics(server.addr), &["sweeps", "streamed"]),
         0,
