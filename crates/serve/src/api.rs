@@ -794,6 +794,63 @@ impl CellsRequest {
     }
 }
 
+/// A validated `POST /v1/ring` request — the router's membership admin
+/// shape: addresses to join and addresses to evict, applied as one ring
+/// rebuild.
+#[derive(Debug, Clone)]
+pub struct RingRequest {
+    /// Shard addresses (`host:port`) joining the ring.
+    pub add: Vec<String>,
+    /// Shard addresses leaving the ring (drained before eviction).
+    pub remove: Vec<String>,
+}
+
+impl RingRequest {
+    /// Validates a parsed request body into canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<Self, ApiError> {
+        let fields = Fields::of(doc, &["schema_version", "add", "remove"])?;
+        fields.schema_version()?;
+        let addr_list = |name: &str| -> Result<Vec<String>, ApiError> {
+            match fields.get(name) {
+                None => Ok(Vec::new()),
+                Some(v) => {
+                    let items = v.as_arr().ok_or_else(|| {
+                        ApiError::invalid(format!("{name} must be an array of host:port strings"))
+                    })?;
+                    items
+                        .iter()
+                        .map(|item| {
+                            let s = item.as_str().ok_or_else(|| {
+                                ApiError::invalid(format!(
+                                    "{name} entries must be host:port strings"
+                                ))
+                            })?;
+                            if s.is_empty() {
+                                return Err(ApiError::invalid(format!(
+                                    "{name} entries must not be empty"
+                                )));
+                            }
+                            Ok(s.to_string())
+                        })
+                        .collect()
+                }
+            }
+        };
+        let add = addr_list("add")?;
+        let remove = addr_list("remove")?;
+        if add.is_empty() && remove.is_empty() {
+            return Err(ApiError::invalid(
+                "a ring update needs at least one add or remove",
+            ));
+        }
+        Ok(Self { add, remove })
+    }
+}
+
 /// Largest Monte Carlo sample count the daemon admits per yield request
 /// (stricter than the library's own `MAX_SAMPLES`: a yield request
 /// multiplies `samples` into every `(point × benchmark)` cell).
@@ -1264,6 +1321,21 @@ impl Engine {
             req.profiles.len(),
             outcomes,
         )
+    }
+
+    /// Installs one already-computed outcome by fingerprint — the
+    /// `POST /v1/records` replica-warming path, where a peer router
+    /// pushes records this shard did not simulate. The record's CRC was
+    /// verified at decode; fingerprints are the same content addresses
+    /// the cache tiers key on, so a pushed record is indistinguishable
+    /// from a locally simulated one (outcomes are deterministic
+    /// functions of their fingerprint).
+    pub fn install_record(&self, fingerprint: u64, core: Option<CoreKind>, outcome: BenchOutcome) {
+        let out = Arc::new(outcome);
+        if let Some(store) = &self.store {
+            store.put_tagged(fingerprint, core, &out);
+        }
+        self.cells.insert(fingerprint, out);
     }
 
     /// Installs one resolved outcome into the cache tiers (write-behind

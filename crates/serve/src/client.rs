@@ -14,11 +14,145 @@
 //! Keeping the chunked-transfer reader single-sourced here means the
 //! router and the test suite cannot drift apart on framing details.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::ops::{Deref, DerefMut};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Network fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected network failure — the client-side mirror of the store's
+/// [`InjectedFault`](crate::store::InjectedFault) disk faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedNetFault {
+    /// The dial fails outright with `ConnectionRefused` — a dead or
+    /// firewalled shard, before any socket exists.
+    Refuse,
+    /// The peer accepted the request and then went silent mid-body; the
+    /// read surfaces as `TimedOut` (the shape the socket's read timeout
+    /// would produce, without waiting for it).
+    Hang,
+    /// The connection closes mid-response: the read reports EOF with
+    /// bytes still owed, truncating the frame in flight.
+    Truncate,
+    /// The read's bytes arrive corrupted — garbage frames that fail
+    /// chunk framing or the record codec's CRC, never parse.
+    Garbage,
+}
+
+/// Hooks on the client's dials and reads so tests can break the network
+/// on purpose, mirroring the `IoFault` pattern in [`crate::store`]. The
+/// default implementation of every hook injects nothing; the router
+/// consults them only on its scatter path (never on health probes, so a
+/// scripted schedule cannot be consumed by the prober racing the test).
+pub trait NetFault: Send + Sync {
+    /// Consulted before dialing `addr`.
+    fn on_connect(&self, addr: &str) -> Option<InjectedNetFault> {
+        let _ = addr;
+        None
+    }
+
+    /// Consulted before each socket read.
+    fn on_read(&self) -> Option<InjectedNetFault> {
+        None
+    }
+
+    /// Total faults injected so far (surfaced in router `/metrics`).
+    fn injected(&self) -> u64 {
+        0
+    }
+}
+
+/// The production no-op fault layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNetFault;
+
+impl NetFault for NoNetFault {}
+
+/// A deterministic scripted network fault injector: each hook pops the
+/// next scripted answer for its operation (FIFO) and injects nothing
+/// once its script runs dry.
+#[derive(Default)]
+pub struct ScriptedNetFaults {
+    connects: Mutex<VecDeque<Option<InjectedNetFault>>>,
+    reads: Mutex<VecDeque<Option<InjectedNetFault>>>,
+    injected: AtomicU64,
+}
+
+impl ScriptedNetFaults {
+    /// An empty script (no faults until scripted).
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Scripts the next dial: `None` passes cleanly, `Some` injects.
+    pub fn script_connect(&self, fault: Option<InjectedNetFault>) {
+        self.connects.lock().expect("fault lock").push_back(fault);
+    }
+
+    /// Scripts the next socket read.
+    pub fn script_read(&self, fault: Option<InjectedNetFault>) {
+        self.reads.lock().expect("fault lock").push_back(fault);
+    }
+
+    fn pop(&self, queue: &Mutex<VecDeque<Option<InjectedNetFault>>>) -> Option<InjectedNetFault> {
+        let fault = queue.lock().expect("fault lock").pop_front().flatten();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+impl std::fmt::Debug for ScriptedNetFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedNetFaults")
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetFault for ScriptedNetFaults {
+    fn on_connect(&self, _addr: &str) -> Option<InjectedNetFault> {
+        self.pop(&self.connects)
+    }
+
+    fn on_read(&self) -> Option<InjectedNetFault> {
+        self.pop(&self.reads)
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// The error an injected fault surfaces as — indistinguishable from the
+/// organic failure it impersonates, so the recovery path under test is
+/// exactly the production one.
+fn injected_error(fault: InjectedNetFault) -> io::Error {
+    match fault {
+        InjectedNetFault::Refuse => io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "injected: connection refused",
+        ),
+        InjectedNetFault::Hang => {
+            io::Error::new(io::ErrorKind::TimedOut, "injected: peer hung mid-body")
+        }
+        InjectedNetFault::Truncate => io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "injected: connection closed mid-response",
+        ),
+        InjectedNetFault::Garbage => {
+            io::Error::new(io::ErrorKind::ConnectionReset, "injected: connection reset")
+        }
+    }
+}
 
 /// One parsed response head.
 #[derive(Debug, Clone)]
@@ -68,11 +202,20 @@ fn protocol_error(message: impl Into<String>) -> io::Error {
 /// One client connection: request writing plus buffered response
 /// reading, reusable across requests when the server answers
 /// `connection: keep-alive`.
-#[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
     buf: Vec<u8>,
     pos: usize,
+    fault: Arc<dyn NetFault>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("stream", &self.stream)
+            .field("buffered", &(self.buf.len() - self.pos))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Connection {
@@ -87,6 +230,24 @@ impl Connection {
         connect_timeout: Duration,
         io_timeout: Duration,
     ) -> io::Result<Self> {
+        Self::connect_with(addr, connect_timeout, io_timeout, Arc::new(NoNetFault))
+    }
+
+    /// [`connect`](Self::connect) with a fault hook consulted before the
+    /// dial and before every subsequent read on the connection.
+    ///
+    /// # Errors
+    ///
+    /// Resolution, connect, socket-option, and injected failures.
+    pub fn connect_with(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+        fault: Arc<dyn NetFault>,
+    ) -> io::Result<Self> {
+        if let Some(injected) = fault.on_connect(addr) {
+            return Err(injected_error(injected));
+        }
         let resolved = addr
             .to_socket_addrs()?
             .next()
@@ -98,6 +259,7 @@ impl Connection {
             stream,
             buf: Vec::new(),
             pos: 0,
+            fault,
         })
     }
 
@@ -210,12 +372,24 @@ impl Connection {
 
     fn fill(&mut self) -> io::Result<()> {
         let mut tmp = [0u8; 4096];
+        // Garbage corrupts real bytes (the frame arrives, unparseable);
+        // every other injected fault replaces the read outright.
+        let corrupt = match self.fault.on_read() {
+            Some(InjectedNetFault::Garbage) => true,
+            Some(injected) => return Err(injected_error(injected)),
+            None => false,
+        };
         let got = self.stream.read(&mut tmp)?;
         if got == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-response",
             ));
+        }
+        if corrupt {
+            for b in &mut tmp[..got] {
+                *b ^= 0xa5;
+            }
         }
         self.buf.extend_from_slice(&tmp[..got]);
         Ok(())
@@ -260,6 +434,7 @@ pub struct ConnPool {
     connect_timeout: Duration,
     io_timeout: Duration,
     capacity: usize,
+    fault: Arc<dyn NetFault>,
     state: Mutex<PoolState>,
     available: Condvar,
 }
@@ -278,11 +453,31 @@ impl ConnPool {
         connect_timeout: Duration,
         io_timeout: Duration,
     ) -> Self {
+        Self::with_fault(
+            addr,
+            capacity,
+            connect_timeout,
+            io_timeout,
+            Arc::new(NoNetFault),
+        )
+    }
+
+    /// [`new`](Self::new) with a fault hook applied to every dial the
+    /// pool makes and every read on its connections.
+    #[must_use]
+    pub fn with_fault(
+        addr: String,
+        capacity: usize,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+        fault: Arc<dyn NetFault>,
+    ) -> Self {
         Self {
             addr,
             connect_timeout,
             io_timeout,
             capacity: capacity.max(1),
+            fault,
             state: Mutex::new(PoolState {
                 idle: Vec::new(),
                 outstanding: 0,
@@ -321,8 +516,12 @@ impl ConnPool {
                 state.outstanding += 1;
                 drop(state);
                 // Dial outside the lock; undo the reservation on failure.
-                return match Connection::connect(&self.addr, self.connect_timeout, self.io_timeout)
-                {
+                return match Connection::connect_with(
+                    &self.addr,
+                    self.connect_timeout,
+                    self.io_timeout,
+                    Arc::clone(&self.fault),
+                ) {
                     Ok(conn) => Ok(PooledConn {
                         pool: self,
                         conn: Some(conn),
@@ -485,5 +684,91 @@ impl StreamingClient {
             chunks.push(c);
         }
         chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn scripted_connect_refuse_fails_the_dial_and_counts() {
+        let faults = ScriptedNetFaults::new();
+        faults.script_connect(Some(InjectedNetFault::Refuse));
+        let err = Connection::connect_with(
+            "127.0.0.1:1",
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            Arc::clone(&faults) as Arc<dyn NetFault>,
+        )
+        .expect_err("injected refuse");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(faults.injected(), 1);
+    }
+
+    #[test]
+    fn scripted_read_faults_pop_in_fifo_order_and_run_dry() {
+        let faults = ScriptedNetFaults::new();
+        faults.script_read(Some(InjectedNetFault::Hang));
+        faults.script_read(None);
+        faults.script_read(Some(InjectedNetFault::Truncate));
+        assert_eq!(faults.on_read(), Some(InjectedNetFault::Hang));
+        assert_eq!(faults.on_read(), None);
+        assert_eq!(faults.on_read(), Some(InjectedNetFault::Truncate));
+        // Dry script: clean passes forever, and only injections counted.
+        assert_eq!(faults.on_read(), None);
+        assert_eq!(faults.injected(), 2);
+    }
+
+    #[test]
+    fn injected_read_faults_surface_as_their_organic_error_kinds() {
+        // A one-connection server that answers with a valid head so the
+        // client's *body* read is the one the script intercepts.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().expect("accept");
+                let mut scratch = [0u8; 1024];
+                let _ = s.read(&mut scratch);
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhello",
+                );
+            }
+        });
+        let faults = ScriptedNetFaults::new();
+        // First connection: head passes, body read hangs.
+        faults.script_read(None);
+        faults.script_read(Some(InjectedNetFault::Hang));
+        let mut conn = Connection::connect_with(
+            &addr,
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+            Arc::clone(&faults) as Arc<dyn NetFault>,
+        )
+        .expect("connect");
+        let head = conn.request("GET", "/healthz", b"", false).expect("head");
+        // The head and body may arrive in one segment; only a read that
+        // actually reaches the socket consumes a scripted answer.
+        match conn.read_body(&head) {
+            Ok(body) => assert_eq!(body, b"hello"),
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+        }
+        // Second connection: every read truncated — the head never parses.
+        let faults2 = ScriptedNetFaults::new();
+        faults2.script_read(Some(InjectedNetFault::Truncate));
+        let mut conn = Connection::connect_with(
+            &addr,
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+            Arc::clone(&faults2) as Arc<dyn NetFault>,
+        )
+        .expect("connect");
+        let err = conn
+            .request("GET", "/healthz", b"", false)
+            .expect_err("injected truncation");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        server.join().expect("server thread");
     }
 }

@@ -44,7 +44,10 @@ use std::time::{Duration, Instant};
 
 use fo4depth_util::{Json, JsonLimits};
 
-use api::{ApiError, CellsRequest, Engine, RequestLimits, RunRequest, SweepRequest, YieldRequest};
+use api::{
+    ApiError, CellsRequest, Engine, RequestLimits, RingRequest, RunRequest, SweepRequest,
+    YieldRequest,
+};
 use http::{
     error_body, read_request, write_error, write_response, ChunkedWriter, HttpError, Request,
 };
@@ -256,7 +259,12 @@ impl Server {
                 .spawn(move || {
                     let upstream = state.engine.upstream().expect("router state");
                     while !state.shutting_down() {
-                        upstream.probe();
+                        // A pass that panics (a poisoned lock, a broken
+                        // resolver) must not silently kill the prober:
+                        // frozen liveness flags would misroute forever.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            upstream.probe();
+                        }));
                         // Sleep in short steps so shutdown is not held up
                         // by the probe interval.
                         let interval = upstream.probe_interval();
@@ -654,16 +662,23 @@ fn route(state: &State, request: &Request) -> (Endpoint, Result<Arc<String>, Htt
                 Ok(engine.run(&RunRequest::from_json(doc, limits)?))
             }),
         ),
+        ("POST", "/v1/records") => (Endpoint::Records, install_records(state, request)),
+        ("POST", "/v1/ring") => (Endpoint::Ring, ring_update(state, request)),
         ("GET", "/metrics") => (Endpoint::Metrics, Ok(Arc::new(metrics_body(state)))),
+        // Router mode aggregates per-shard prober state so an external
+        // load balancer can front multiple routers on this document;
+        // a shard's own health stays the minimal liveness ack.
         ("GET", "/healthz") => (
             Endpoint::Health,
-            Ok(Arc::new(
-                Json::obj(vec![("status", Json::str("ok"))]).render(),
-            )),
+            Ok(Arc::new(match state.engine.upstream() {
+                Some(upstream) => upstream.healthz_json().render(),
+                None => Json::obj(vec![("status", Json::str("ok"))]).render(),
+            })),
         ),
         (
             "GET" | "POST",
-            "/v1/report" | "/v1/sweep" | "/v1/run" | "/v1/yield" | "/metrics" | "/healthz",
+            "/v1/report" | "/v1/sweep" | "/v1/run" | "/v1/yield" | "/v1/records" | "/v1/ring"
+            | "/metrics" | "/healthz",
         ) => (
             Endpoint::Other,
             Err(HttpError {
@@ -680,6 +695,89 @@ fn route(state: &State, request: &Request) -> (Endpoint, Result<Arc<String>, Htt
                 message: format!("no route for {}", request.path),
             }),
         ),
+    }
+}
+
+/// `POST /v1/records` — the shard-internal replica-warming endpoint:
+/// the body is a concatenation of the store codec's CRC-guarded binary
+/// records (the exact bytes a `/v1/cells` gather delivers), installed
+/// into this instance's cache tiers without simulating. Tolerance is
+/// structural: an undecodable payload is rejected and skipped, an
+/// unframeable tail is rejected wholesale — never a panic, never a
+/// partial record installed (the CRC gate decides).
+fn install_records(state: &State, request: &Request) -> Result<Arc<String>, HttpError> {
+    if request.body.is_empty() {
+        return Err(HttpError {
+            status: 400,
+            code: "bad_records",
+            message: "a record push needs a non-empty binary body".to_string(),
+        });
+    }
+    let (mut installed, mut rejected) = (0u64, 0u64);
+    let mut rest: &[u8] = &request.body;
+    while !rest.is_empty() {
+        match store::decode_record(rest) {
+            Ok((fingerprint, payload, used)) => {
+                let decoded = store::payload_core(payload)
+                    .and_then(|core| store::decode_outcome(payload).map(|o| (core, o)));
+                match decoded {
+                    Ok((core, outcome)) => {
+                        state.engine.install_record(fingerprint, core, outcome);
+                        installed += 1;
+                    }
+                    // A framed record with an undecodable payload (e.g.
+                    // a stale schema version): skip it, keep the rest.
+                    Err(_) => rejected += 1,
+                }
+                rest = &rest[used..];
+            }
+            Err(_) => {
+                // The frame boundary itself is gone; nothing after this
+                // point can be attributed to a record.
+                rejected += 1;
+                break;
+            }
+        }
+    }
+    Ok(Arc::new(
+        Json::obj(vec![
+            ("installed", Json::uint(installed)),
+            ("rejected", Json::uint(rejected)),
+        ])
+        .render(),
+    ))
+}
+
+/// `POST /v1/ring` — the router's membership admin endpoint: adds and
+/// removes shard addresses as one ring rebuild, draining departing
+/// shards before their pools drop. Rejected on non-router instances.
+fn ring_update(state: &State, request: &Request) -> Result<Arc<String>, HttpError> {
+    let Some(upstream) = state.engine.upstream() else {
+        return Err(HttpError {
+            status: 404,
+            code: "not_found",
+            message: "ring membership is a router endpoint".to_string(),
+        });
+    };
+    let doc = parse_body(state, request)?;
+    let req = to_http(RingRequest::from_json(&doc))?;
+    match upstream.update_ring(&req.add, &req.remove) {
+        Ok(update) => Ok(Arc::new(
+            Json::obj(vec![
+                (
+                    "shards",
+                    Json::Arr(update.shards.iter().map(Json::str).collect()),
+                ),
+                ("rebuilds", Json::uint(update.rebuilds)),
+                ("drained", Json::uint(update.drained as u64)),
+            ])
+            .render(),
+        )),
+        Err(message) => Err(HttpError {
+            status: 400,
+            code: "bad_ring_update",
+            message,
+        }),
     }
 }
 

@@ -25,25 +25,31 @@ pub enum Endpoint {
     Run,
     /// `POST /v1/cells` (the shard-internal scatter endpoint).
     Cells,
+    /// `POST /v1/records` (the shard-internal replica-warming install).
+    Records,
     /// `POST /v1/yield`.
     Yield,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
     Health,
+    /// `POST /v1/ring` (the router's membership admin endpoint).
+    Ring,
     /// Anything else (404/405/parse failures before routing).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 10] = [
         Endpoint::Report,
         Endpoint::Sweep,
         Endpoint::Run,
         Endpoint::Cells,
+        Endpoint::Records,
         Endpoint::Yield,
         Endpoint::Metrics,
         Endpoint::Health,
+        Endpoint::Ring,
         Endpoint::Other,
     ];
 
@@ -53,9 +59,11 @@ impl Endpoint {
             Endpoint::Sweep => "sweep",
             Endpoint::Run => "run",
             Endpoint::Cells => "cells",
+            Endpoint::Records => "records",
             Endpoint::Yield => "yield",
             Endpoint::Metrics => "metrics",
             Endpoint::Health => "healthz",
+            Endpoint::Ring => "ring",
             Endpoint::Other => "other",
         }
     }
@@ -66,10 +74,12 @@ impl Endpoint {
             Endpoint::Sweep => 1,
             Endpoint::Run => 2,
             Endpoint::Cells => 3,
-            Endpoint::Yield => 4,
-            Endpoint::Metrics => 5,
-            Endpoint::Health => 6,
-            Endpoint::Other => 7,
+            Endpoint::Records => 4,
+            Endpoint::Yield => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Health => 7,
+            Endpoint::Ring => 8,
+            Endpoint::Other => 9,
         }
     }
 }

@@ -232,6 +232,30 @@ pub fn core_tag_key(tag: u8) -> &'static str {
     }
 }
 
+/// The core model recorded in a payload's core-tag byte, for callers
+/// re-installing wire records (`POST /v1/records`) that need to
+/// preserve provenance. `Ok(None)` is an untagged record.
+///
+/// # Errors
+///
+/// [`RecordError::Truncated`] on a payload shorter than its prefix,
+/// [`RecordError::Corrupt`] on a wrong codec version or an impossible
+/// tag value.
+pub fn payload_core(payload: &[u8]) -> Result<Option<CoreKind>, RecordError> {
+    if payload.len() < 2 {
+        return Err(RecordError::Truncated);
+    }
+    if payload[0] != OUTCOME_VERSION {
+        return Err(RecordError::Corrupt);
+    }
+    match payload[1] {
+        0 => Ok(None),
+        1 => Ok(Some(CoreKind::InOrder)),
+        2 => Ok(Some(CoreKind::OutOfOrder)),
+        _ => Err(RecordError::Corrupt),
+    }
+}
+
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }

@@ -98,10 +98,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// A consistent-hash ring assigning 64-bit keys to shard indices.
 ///
 /// Each shard owns `replicas` virtual nodes whose ring positions are
-/// FNV-1a digests of `(shard index, replica index)` — fully determined by
-/// the shard count, so every participant that knows `(shards, replicas)`
+/// FNV-1a digests of `(node identity, replica index)` — fully determined
+/// by the identity set, so every participant that knows `(ids, replicas)`
 /// computes the same placement with no coordination. A key belongs to the
-/// first virtual node at or clockwise of its own ring position.
+/// first virtual node at or clockwise of its own ring position. The
+/// common case keys identities by shard index ([`new`](Self::new));
+/// dynamic-membership callers key by stable identities that survive
+/// slot renumbering ([`with_nodes`](Self::with_nodes)).
 ///
 /// The property that makes this *consistent*: growing the ring from `n`
 /// to `n + 1` shards only inserts the new shard's virtual nodes — every
@@ -117,29 +120,60 @@ pub struct HashRing {
 }
 
 impl HashRing {
-    /// A ring of `shards` shards with `replicas` virtual nodes each.
+    /// A ring of `shards` shards with `replicas` virtual nodes each,
+    /// keyed by shard index — shorthand for [`with_nodes`](Self::with_nodes)
+    /// over the identities `0..shards`.
     ///
     /// # Panics
     ///
     /// Panics when either count is zero — an empty ring owns nothing.
     #[must_use]
     pub fn new(shards: usize, replicas: usize) -> Self {
-        assert!(shards > 0, "a hash ring needs at least one shard");
+        let ids: Vec<u64> = (0..shards as u64).collect();
+        Self::with_nodes(&ids, replicas)
+    }
+
+    /// A ring whose virtual-node positions are keyed by stable node
+    /// *identities* instead of slot indices. [`owner`](Self::owner) and
+    /// [`successors`](Self::successors) still return slot indices (the
+    /// position of the identity in `ids`), but the ring *geometry* is a
+    /// pure function of the identity set: removing one identity strands
+    /// only the keys it owned, and re-adding it restores the original
+    /// placement exactly — the property dynamic membership needs, where
+    /// a departed shard's slot index is gone but its identity is not.
+    ///
+    /// Identities must be distinct; `with_nodes(&[0, 1, …, n-1], r)` is
+    /// byte-identical to the index-keyed `new(n, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ids` is empty, `replicas` is zero, or identities
+    /// repeat (duplicate identities would alias every virtual node).
+    #[must_use]
+    pub fn with_nodes(ids: &[u64], replicas: usize) -> Self {
+        assert!(!ids.is_empty(), "a hash ring needs at least one shard");
         assert!(replicas > 0, "a hash ring needs at least one replica");
-        let mut points = Vec::with_capacity(shards * replicas);
-        for shard in 0..shards {
+        let mut points = Vec::with_capacity(ids.len() * replicas);
+        for (slot, &id) in ids.iter().enumerate() {
+            assert!(
+                !ids[..slot].contains(&id),
+                "ring node identities must be distinct"
+            );
             for replica in 0..replicas {
                 let mut h = Fnv64::new();
                 h.write_str("ring-node");
-                h.write_u64(shard as u64);
+                h.write_u64(id);
                 h.write_u64(replica as u64);
-                points.push((h.finish(), shard));
+                points.push((h.finish(), slot));
             }
         }
         // Position ties (astronomically unlikely) resolve to the lower
-        // shard index so ownership stays a pure function of the inputs.
+        // slot index so ownership stays a pure function of the inputs.
         points.sort_unstable();
-        Self { points, shards }
+        Self {
+            points,
+            shards: ids.len(),
+        }
     }
 
     /// The number of shards on the ring.
@@ -268,6 +302,69 @@ mod tests {
             assert_eq!(ring.owner(key), 0);
             assert_eq!(ring.successors(key), vec![0]);
         }
+    }
+
+    #[test]
+    fn identity_keyed_ring_matches_the_index_keyed_ring() {
+        // `new(n, r)` is specified as `with_nodes(&[0..n], r)`; the
+        // equivalence is part of the placement contract (a router that
+        // starts index-keyed and later rebuilds identity-keyed must not
+        // move any key at the moment of the first rebuild).
+        let by_index = HashRing::new(4, 64);
+        let by_id = HashRing::with_nodes(&[0, 1, 2, 3], 64);
+        for key in 0..4096u64 {
+            assert_eq!(by_index.owner(key), by_id.owner(key));
+            assert_eq!(by_index.successors(key), by_id.successors(key));
+        }
+    }
+
+    #[test]
+    fn removing_an_arbitrary_identity_strands_only_its_keys() {
+        // Unlike the index-keyed ring (which can only shrink from the
+        // top), an identity-keyed ring can lose any member: here the
+        // *middle* identity leaves and the survivors keep every key
+        // they owned, slot renumbering notwithstanding.
+        let before = HashRing::with_nodes(&[10, 20, 30, 40], 64);
+        let after = HashRing::with_nodes(&[10, 30, 40], 64);
+        let before_ids = [10u64, 20, 30, 40];
+        let after_ids = [10u64, 30, 40];
+        let mut moved = 0usize;
+        for key in 0..8192u64 {
+            let old_id = before_ids[before.owner(key)];
+            let new_id = after_ids[after.owner(key)];
+            if old_id != new_id {
+                assert_eq!(old_id, 20, "key {key} moved but shard 20 never left");
+                moved += 1;
+            }
+        }
+        let expected = 8192 / 4;
+        assert!(
+            moved > expected / 2 && moved < expected * 2,
+            "moved {moved} keys; expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn re_adding_an_identity_restores_the_original_placement() {
+        let original = HashRing::with_nodes(&[7, 11, 13], 64);
+        // The departed identity returns at a different slot; ownership
+        // maps through identities, so placement is exactly restored.
+        let rejoined = HashRing::with_nodes(&[7, 13, 11], 64);
+        let original_ids = [7u64, 11, 13];
+        let rejoined_ids = [7u64, 13, 11];
+        for key in 0..4096u64 {
+            assert_eq!(
+                original_ids[original.owner(key)],
+                rejoined_ids[rejoined.owner(key)],
+                "key {key} changed owner across a remove/re-add cycle"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_identities_are_rejected() {
+        let _ = HashRing::with_nodes(&[1, 2, 1], 8);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fo4depth::fo4::Fo4;
+use fo4depth::serve::client::{InjectedNetFault, ScriptedNetFaults};
 use fo4depth::serve::store::{self, FsyncPolicy};
 use fo4depth::serve::{ServeConfig, Server};
 use fo4depth::study::adaptive::AdaptiveConfig;
@@ -96,12 +97,20 @@ fn usage() -> ExitCode {
                   persists cell outcomes across restarts\n\
            route --shard HOST:PORT [--shard HOST:PORT ...] [serve options]\n\
                  [--shard-connections N] [--shard-retries N] [--shard-backoff-ms N]\n\
-                 [--shard-timeout-ms N] [--ring-replicas N]\n\
+                 [--shard-timeout-ms N] [--ring-replicas N] [--replication R]\n\
+                 [--net-faults SPEC]\n\
                   front a fleet of serve shards: the same HTTP surface,\n\
                   with cell simulation scattered to the owning shards by\n\
                   consistent hashing and gathered back byte-identically;\n\
-                  dead shards fail over to ring successors, then local\n\
-                  compute\n\
+                  --replication R serves each cell from any of its first\n\
+                  R ring successors (reads balanced two-choices, records\n\
+                  fanned out so every replica stays warm); POST /v1/ring\n\
+                  adds/removes shards at runtime; dead shards fail over\n\
+                  to ring successors, then local compute; --net-faults\n\
+                  scripts deterministic scatter-path failures (comma-\n\
+                  separated connect-refuse|connect-pass|read-hang|\n\
+                  read-truncate|read-garbage|read-pass, consumed FIFO\n\
+                  per operation) for chaos drills\n\
            cache <stat|verify|compact> --cache-dir DIR\n\
                   inspect or rewrite the persistent cell cache offline\n\
          `--jobs N` sizes the shared execution pool (1 = serial); the\n\
@@ -1189,8 +1198,43 @@ fn cmd_route(mut args: Args) -> Result<ExitCode, ArgError> {
         }
         config.upstream.ring_replicas = n;
     }
+    if let Some(n) = args.take_opt::<usize>("--replication")? {
+        if n == 0 {
+            return Err(ArgError("--replication needs a positive value".into()));
+        }
+        config.upstream.replication = n;
+    }
+    if let Some(spec) = args.take_opt::<String>("--net-faults")? {
+        config.upstream.net_fault = parse_net_faults(&spec)?;
+    }
     args.finish()?;
     Ok(run_server(config))
+}
+
+/// Parses a `--net-faults` schedule: comma-separated fault tokens,
+/// pushed FIFO onto the per-operation scripts of a
+/// [`ScriptedNetFaults`]. `connect-pass`/`read-pass` script an explicit
+/// clean operation (to position later faults mid-sweep); once a script
+/// runs dry that operation passes cleanly forever.
+fn parse_net_faults(spec: &str) -> Result<Arc<ScriptedNetFaults>, ArgError> {
+    let faults = ScriptedNetFaults::new();
+    for token in spec.split(',').filter(|t| !t.is_empty()) {
+        match token {
+            "connect-refuse" => faults.script_connect(Some(InjectedNetFault::Refuse)),
+            "connect-pass" => faults.script_connect(None),
+            "read-hang" => faults.script_read(Some(InjectedNetFault::Hang)),
+            "read-truncate" => faults.script_read(Some(InjectedNetFault::Truncate)),
+            "read-garbage" => faults.script_read(Some(InjectedNetFault::Garbage)),
+            "read-pass" => faults.script_read(None),
+            other => {
+                return Err(ArgError(format!(
+                    "unknown net-fault token {other:?}; expected connect-refuse, \
+                     connect-pass, read-hang, read-truncate, read-garbage, or read-pass"
+                )))
+            }
+        }
+    }
+    Ok(faults)
 }
 
 /// Offline maintenance of a persistent cell cache directory: `stat`

@@ -318,3 +318,202 @@ fn unknown_schema_versions_are_rejected_with_a_structured_400() {
         assert_eq!(error_code(&r), "unsupported_schema_version");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Gather reassembly under replication — property tests
+// ---------------------------------------------------------------------------
+//
+// With `--replication R` the same record can arrive from several
+// replicas, a stale or buggy replica can return a conflicting payload
+// for a fingerprint, and a faulted wire can deliver corrupted frames.
+// `place_records` and the record codec must absorb all of it
+// structurally: fill what decodes, count what doesn't, never panic.
+
+use std::sync::OnceLock;
+
+use fo4depth::study::cells::CellSpec;
+use fo4depth::study::sim::BenchOutcome;
+use proptest::prelude::*;
+
+/// One simulated cell set, shared by every generated case (simulation
+/// is deterministic, so computing it once is sound and fast).
+fn gather_fixture() -> &'static (Vec<CellSpec>, Vec<BenchOutcome>) {
+    static FIXTURE: OnceLock<(Vec<CellSpec>, Vec<BenchOutcome>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let engine = build_engine(&ServeConfig::default()).expect("engine");
+        let spec = Json::parse(
+            r#"{"benchmarks":["164.gzip","181.mcf"],"points":[5.0,7.0],"warmup":300,"measure":1000,"seed":47}"#,
+        )
+        .expect("spec");
+        let req = SweepRequest::from_json(&spec, &RequestLimits::default()).expect("valid spec");
+        let cells = req.cells(false);
+        let outcomes = engine.fill_cells(&cells);
+        (cells, outcomes)
+    })
+}
+
+/// Deterministically shuffles `items` in place from a seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        // SplitMix64 step; any well-mixed stream works here.
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let j = ((z ^ (z >> 31)) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replicated gathers: every record duplicated 0–3 times (0 =
+    /// withheld), some replicas stale (conflicting payload for a known
+    /// fingerprint), aliens mixed in, the whole pile shuffled. Placement
+    /// never panics, fills exactly the delivered cells, and counts
+    /// exactly the aliens as unknown.
+    #[test]
+    fn replicated_gathers_place_structurally(
+        copy_pattern in proptest::collection::vec(0u8..4, 32..33),
+        aliens in 0u8..3,
+        stale in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (cells, outcomes) = gather_fixture();
+        // One copy count per cell, however many cells the sweep expands
+        // to (the pattern repeats if the cell set outgrows it).
+        let copies: Vec<u8> = (0..cells.len())
+            .map(|i| copy_pattern[i % copy_pattern.len()])
+            .collect();
+
+        let mut records: Vec<(u64, BenchOutcome)> = Vec::new();
+        for ((cell, outcome), &n) in cells.iter().zip(outcomes).zip(&copies) {
+            for _ in 0..n {
+                records.push((cell.fingerprint(), outcome.clone()));
+            }
+        }
+        if stale && cells.len() >= 2 {
+            // A stale replica answers cell 0's fingerprint with cell 1's
+            // outcome: structurally valid, semantically conflicting.
+            records.push((cells[0].fingerprint(), outcomes[1].clone()));
+        }
+        for i in 0..aliens {
+            records.push((0x5eed_0000_0000_0000 + u64::from(i), outcomes[0].clone()));
+        }
+        shuffle(&mut records, seed);
+
+        let mut slots: Vec<Option<BenchOutcome>> = vec![None; cells.len()];
+        let unknown = place_records(cells, &records, &mut slots);
+        prop_assert_eq!(unknown, usize::from(aliens), "alien count mismatch");
+        for (i, (slot, &n)) in slots.iter().zip(&copies).enumerate() {
+            let delivered = n > 0 || (stale && i == 0 && cells.len() >= 2);
+            prop_assert_eq!(
+                slot.is_some(),
+                delivered,
+                "cell {} placement: {} copies delivered",
+                i,
+                n
+            );
+        }
+
+        // Placing the same gather again over the now-filled slots is a
+        // no-op, not a panic — duplicate fills across replicas are
+        // benign.
+        let again = place_records(cells, &records, &mut slots);
+        prop_assert_eq!(again, usize::from(aliens));
+    }
+
+    /// Corrupted wire frames: a valid record stream with a byte flipped,
+    /// a truncation, garbage spliced on, or a stale schema version is
+    /// rejected structurally by the codec — every frame either decodes
+    /// to one of the original records or errors; nothing panics and the
+    /// decode loop always terminates.
+    #[test]
+    fn corrupted_record_frames_reject_structurally(
+        flip_at in any::<u64>(),
+        flip_with in 1u8..255,
+        cut in any::<u64>(),
+        mode in 0u8..4,
+    ) {
+        let (cells, outcomes) = gather_fixture();
+        let mut wire = Vec::new();
+        let mut originals = Vec::new();
+        for (cell, outcome) in cells.iter().zip(outcomes) {
+            let payload = store::encode_outcome_tagged(outcome, Some(cell.core));
+            originals.push((cell.fingerprint(), payload.clone()));
+            wire.extend_from_slice(&store::encode_record(cell.fingerprint(), &payload));
+        }
+
+        match mode {
+            0 => {
+                // Flip one byte anywhere in the stream.
+                let at = (flip_at % wire.len() as u64) as usize;
+                wire[at] ^= flip_with;
+            }
+            1 => {
+                // Truncate mid-stream.
+                let at = (cut % wire.len() as u64) as usize;
+                wire.truncate(at);
+            }
+            2 => {
+                // Splice garbage on the end.
+                wire.extend_from_slice(&flip_at.to_le_bytes());
+                wire.extend_from_slice(&cut.to_le_bytes());
+            }
+            _ => {
+                // Stale schema: rewrite the first record with a wrong
+                // outcome version byte. The frame CRC is recomputed, so
+                // only the payload gate can reject it.
+                let (fingerprint, payload, _) =
+                    store::decode_record(&wire).expect("valid first frame");
+                let mut stale_payload = payload.to_vec();
+                stale_payload[0] = stale_payload[0].wrapping_add(flip_with);
+                wire = store::encode_record(fingerprint, &stale_payload);
+            }
+        }
+
+        // The same loop `/v1/records` install runs: decode frames until
+        // a structural error, gate each payload on version + outcome
+        // decode, skip what fails.
+        let mut rest = &wire[..];
+        let mut decoded: Vec<(u64, BenchOutcome)> = Vec::new();
+        let mut rejected = 0usize;
+        while !rest.is_empty() {
+            match store::decode_record(rest) {
+                Ok((fingerprint, payload, used)) => {
+                    prop_assert!(used > 0, "decode made no progress");
+                    match store::payload_core(payload)
+                        .and_then(|_| store::decode_outcome(payload))
+                    {
+                        Ok(outcome) => {
+                            // A frame that survives its CRC carries one
+                            // of the payloads we encoded, bit for bit.
+                            prop_assert!(
+                                originals
+                                    .iter()
+                                    .any(|(f, p)| *f == fingerprint && p == payload),
+                                "CRC-clean frame not among the originals"
+                            );
+                            decoded.push((fingerprint, outcome));
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                    rest = &rest[used..];
+                }
+                Err(_) => {
+                    rejected += 1;
+                    break;
+                }
+            }
+        }
+        prop_assert!(
+            decoded.len() + rejected <= originals.len() + 1,
+            "more frames than were sent"
+        );
+
+        // Whatever survived places cleanly; nothing panics.
+        let mut slots: Vec<Option<BenchOutcome>> = vec![None; cells.len()];
+        let _ = place_records(cells, &decoded, &mut slots);
+    }
+}
